@@ -1,0 +1,120 @@
+"""A2 -- Ablation of erasure-code rate and fragment count (Section 4.5).
+
+"the number of fragments (and hence the durability of information) is
+determined on a per-object basis."  This sweep maps the design space:
+availability vs storage overhead vs encode cost, across rates and
+fragment counts -- including the replication baseline the paper compares
+against.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import fmt, print_table, record_result
+from repro.archival import (
+    ReedSolomonCode,
+    encode_archival,
+    erasure_availability,
+    nines,
+    replication_availability,
+    storage_overhead,
+)
+
+N_MACHINES = 1_000_000
+M_DOWN = 100_000
+
+
+def test_ablation_rate_sweep(benchmark):
+    """Lower rate (more redundancy) buys availability at storage cost."""
+
+    def sweep():
+        results = {}
+        for rate in (0.25, 0.5, 0.75):
+            for fragments in (8, 16, 32):
+                p = erasure_availability(
+                    N_MACHINES, M_DOWN, fragments=fragments, rate=rate
+                )
+                results[(rate, fragments)] = p
+        return results
+
+    results = benchmark(sweep)
+    rows = []
+    for (rate, fragments), p in sorted(results.items()):
+        rows.append(
+            [
+                fmt(rate, 2),
+                fragments,
+                f"{storage_overhead(fragments, rate):.1f}x",
+                fmt(nines(p), 1),
+            ]
+        )
+    print_table(
+        "Ablation A2: erasure rate x fragment count (n=1e6, 10% down)",
+        ["rate", "fragments", "storage", "nines"],
+        rows,
+    )
+    record_result(
+        "ablation_erasure_rate",
+        {f"rate={r},f={f}": p for (r, f), p in results.items()},
+    )
+    # At fixed fragments, lower rate is strictly more available.
+    for fragments in (8, 16, 32):
+        assert (
+            results[(0.25, fragments)]
+            > results[(0.5, fragments)]
+            > results[(0.75, fragments)]
+        )
+    # At fixed rate, more fragments is strictly more available.
+    for rate in (0.25, 0.5, 0.75):
+        assert results[(rate, 8)] < results[(rate, 16)] < results[(rate, 32)]
+
+
+def test_ablation_replication_baseline(benchmark):
+    """The baseline the paper argues against: replication needs far more
+    storage for the same availability."""
+
+    def compare():
+        er = erasure_availability(N_MACHINES, M_DOWN, fragments=16, rate=0.5)
+        # How many whole replicas to match five nines at 10% down?
+        replicas = 2
+        while replication_availability(N_MACHINES, M_DOWN, replicas) < er:
+            replicas += 1
+        return er, replicas
+
+    er, replicas_needed = benchmark(compare)
+    print(f"\n  16-fragment rate-1/2 availability: {er:.6f} at 2.0x storage")
+    print(f"  replication needs {replicas_needed} copies "
+          f"({replicas_needed:.1f}x storage) to match")
+    record_result(
+        "ablation_replication_baseline",
+        {"erasure_availability": er, "replicas_to_match": replicas_needed},
+    )
+    assert replicas_needed >= 5  # paper: erasure coding wins decisively
+
+
+def test_ablation_encode_cost_vs_fragments(benchmark):
+    """Encode cost grows with fragment count: the per-object durability
+    knob has a concrete price."""
+    data = b"y" * 32768
+
+    def encode_cost(k, n):
+        code = ReedSolomonCode(k=k, n=n)
+        start = time.perf_counter()
+        encode_archival(data, code)
+        return time.perf_counter() - start
+
+    benchmark.pedantic(encode_cost, args=(8, 16), rounds=1, iterations=1)
+    rows = []
+    results = {}
+    for k, n in ((4, 8), (8, 16), (16, 32), (32, 64)):
+        cost = min(encode_cost(k, n) for _ in range(3))
+        rows.append([f"{k}-of-{n}", fmt(cost * 1000, 1)])
+        results[f"{k}of{n}"] = cost
+    print_table(
+        "Ablation A2: encode wall time (32 KiB object)",
+        ["code", "encode (ms)"],
+        rows,
+    )
+    record_result("ablation_encode_cost", results)
+    assert results["32of64"] > results["4of8"]

@@ -1,0 +1,111 @@
+"""A3 -- Ablation of the primary-tier size (Section 4.4.3).
+
+"all known protocols that are tolerant to arbitrary replica failures are
+too communication-intensive to be used by more than a handful of
+replicas.  The primary tier thus consists of a small number of replicas."
+
+This sweep measures, on the real simulated PBFT, how bandwidth and
+latency grow with m (n = 3m + 1), quantifying the design choice of a
+small inner ring -- and what each extra fault of tolerance costs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from conftest import fmt, print_table, record_result
+from repro.consistency import InnerRing, minimum_cost_bytes
+from repro.crypto import make_principal
+from repro.data import AppendBlock, TruePredicate, UpdateBranch, make_update
+from repro.naming import object_guid
+from repro.sim import Kernel, Network
+
+UPDATE_SIZE = 4096
+
+
+def run_tier(m: int, seed: int = 0):
+    """One 4 kB update through an (n=3m+1) ring; returns (bytes_norm, ms)."""
+    n = 3 * m + 1
+    kernel = Kernel()
+    graph = nx.complete_graph(n + 1)
+    nx.set_edge_attributes(graph, 100.0, "latency_ms")
+    network = Network(kernel, graph)
+    rng = random.Random(seed)
+    principals = [make_principal(f"r{i}", rng, bits=256) for i in range(n)]
+    ring = InnerRing(kernel, network, list(range(n)), principals, m=m)
+    author = make_principal("author", rng, bits=256)
+    update = make_update(
+        author,
+        object_guid(author.public_key, "tier"),
+        [UpdateBranch(TruePredicate(), (AppendBlock(b"x" * UPDATE_SIZE),))],
+        1.0,
+    )
+    commit_time = []
+    ring.on_certificate(lambda cert: commit_time.append(kernel.now))
+    ring.submit(n, update)
+    kernel.run(until=120_000.0)
+    assert commit_time
+    normalized = network.stats_total_bytes / minimum_cost_bytes(
+        update.size_bytes(), n
+    )
+    return normalized, commit_time[0]
+
+
+def test_ablation_tier_size_cost(benchmark):
+    """Bandwidth and latency vs m: why the inner ring stays small."""
+    benchmark.pedantic(run_tier, args=(1,), rounds=1, iterations=1)
+    rows = []
+    results = {}
+    for m in (1, 2, 3, 4):
+        normalized, latency = run_tier(m)
+        n = 3 * m + 1
+        rows.append([m, n, fmt(normalized, 2), fmt(latency, 0)])
+        results[str(m)] = {"n": n, "normalized_bytes": normalized, "latency_ms": latency}
+    print_table(
+        "Ablation A3: primary-tier size (4 kB update, 100 ms links)",
+        ["m (faults)", "n (replicas)", "bytes / (u*n)", "commit latency (ms)"],
+        rows,
+    )
+    record_result("ablation_tier_size", results)
+    # Bandwidth overhead grows with n (the n^2 term).
+    norms = [results[str(m)]["normalized_bytes"] for m in (1, 2, 3, 4)]
+    assert norms == sorted(norms)
+    # Latency stays phase-bound (not exploding): the protocol's phase
+    # count is constant, so even m=4 stays under a second.
+    assert results["4"]["latency_ms"] < 1000.0
+
+
+def test_ablation_absolute_bytes_grow_quadratically(benchmark):
+    """The n^2 term dominates small updates as m grows."""
+
+    def measure(m):
+        n = 3 * m + 1
+        kernel = Kernel()
+        graph = nx.complete_graph(n + 1)
+        nx.set_edge_attributes(graph, 50.0, "latency_ms")
+        network = Network(kernel, graph)
+        rng = random.Random(0)
+        principals = [make_principal(f"r{i}", rng, bits=256) for i in range(n)]
+        ring = InnerRing(kernel, network, list(range(n)), principals, m=m)
+        author = make_principal("author", rng, bits=256)
+        update = make_update(
+            author,
+            object_guid(author.public_key, "tiny"),
+            [UpdateBranch(TruePredicate(), (AppendBlock(b"x" * 64),))],
+            1.0,
+        )
+        ring.submit(n, update)
+        kernel.run(until=120_000.0)
+        return network.stats_total_bytes
+
+    benchmark.pedantic(measure, args=(1,), rounds=1, iterations=1)
+    b1, b4 = measure(1), measure(4)
+    n1, n4 = 4, 13
+    print(f"\n  tiny-update bytes: m=1 -> {b1}, m=4 -> {b4} "
+          f"(ratio {b4 / b1:.1f}; n ratio {n4 / n1:.1f}, "
+          f"n^2 ratio {(n4 / n1) ** 2:.1f})")
+    record_result("ablation_tier_quadratic", {"m1": b1, "m4": b4})
+    # Growth clearly super-linear in n for small updates.
+    assert b4 / b1 > (n4 / n1) * 1.5

@@ -1,0 +1,169 @@
+"""E5 -- Figure 3 + Section 4.3.3: the Plaxton mesh's scaling and locality.
+
+Claims reproduced:
+
+* publish paths take O(log n) hops ("This process requires O(log n)
+  hops, where n is the number of servers in the world");
+* "the average distance traveled is proportional to the distance between
+  the source of the query and the closest replica" (locality);
+* "most object searches do not travel all the way to the root"
+  (Figure 3 caption);
+* GUID roots spread evenly over servers (load distribution).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from conftest import fmt, print_table, record_result
+from repro.routing import PlaxtonMesh
+from repro.sim import Kernel, Network, TopologyParams, build_transit_stub_topology
+from repro.util import GUID
+
+
+def make_mesh(n_target: int, seed: int = 0):
+    # Choose topology parameters to land near the target node count.
+    per_transit = 3 * 8  # stubs * nodes_per_stub
+    transit = max(4, round(n_target / (per_transit + 1)))
+    params = TopologyParams(
+        transit_nodes=transit, stubs_per_transit=3, nodes_per_stub=8
+    )
+    rng = random.Random(seed)
+    kernel = Kernel()
+    graph = build_transit_stub_topology(params, rng)
+    network = Network(kernel, graph)
+    mesh = PlaxtonMesh(network, rng)
+    mesh.populate(sorted(network.nodes()))
+    return network, mesh
+
+
+def test_fig3_hops_grow_logarithmically(benchmark):
+    """Route length vs network size: O(log n)."""
+    benchmark.pedantic(make_mesh, args=(64,), rounds=1, iterations=1)
+    rows = []
+    results = {}
+    for n_target in (100, 200, 400, 600):
+        network, mesh = make_mesh(n_target, seed=n_target)
+        nodes = sorted(mesh.nodes)
+        rng = random.Random(n_target)
+        hops = []
+        for i in range(40):
+            start = rng.choice(nodes)
+            guid = GUID.hash_of(f"route-{n_target}-{i}".encode())
+            hops.append(mesh.route_to_root(start, guid).hops)
+        mean_hops = sum(hops) / len(hops)
+        n = len(nodes)
+        rows.append([n, fmt(mean_hops, 2), fmt(math.log(n, 16) + 1, 2)])
+        results[str(n)] = mean_hops
+    print_table(
+        "Figure 3: route-to-root hops vs network size",
+        ["servers n", "mean hops", "log16(n)+1"],
+        rows,
+    )
+    record_result("fig3_hop_scaling", results)
+    sizes = sorted(int(k) for k in results)
+    # Sub-linear growth: 8x the nodes costs far less than 8x the hops.
+    assert results[str(sizes[-1])] < results[str(sizes[0])] * 3
+    # And in the right absolute regime for a base-16 mesh.
+    assert all(v < 3 * (math.log(s, 16) + 2) for s, v in
+               ((int(k), v) for k, v in results.items()))
+
+
+def test_fig3_locality_proportional_to_replica_distance(benchmark):
+    """Locate cost tracks the distance to the closest replica."""
+    network, mesh = make_mesh(150, seed=3)
+    nodes = sorted(mesh.nodes)
+    rng = random.Random(4)
+
+    def measure():
+        buckets: dict[str, list[float]] = {"near": [], "far": []}
+        for i in range(60):
+            client = rng.choice(nodes)
+            guid = GUID.hash_of(f"loc-{i}".encode())
+            ranked = sorted(
+                (n for n in nodes if n != client),
+                key=lambda n: network.latency_ms(client, n),
+            )
+            near_replica, far_replica = ranked[0], ranked[-1]
+            replica = near_replica if i % 2 == 0 else far_replica
+            mesh.publish(replica, guid)
+            result = mesh.locate(client, guid)
+            assert result.found
+            direct = network.latency_ms(client, replica)
+            buckets["near" if i % 2 == 0 else "far"].append(
+                (result.trace.latency_ms, direct)
+            )
+        return buckets
+
+    buckets = benchmark.pedantic(measure, rounds=1, iterations=1)
+    near_cost = sum(c for c, _ in buckets["near"]) / len(buckets["near"])
+    far_cost = sum(c for c, _ in buckets["far"]) / len(buckets["far"])
+    near_direct = sum(d for _, d in buckets["near"]) / len(buckets["near"])
+    far_direct = sum(d for _, d in buckets["far"]) / len(buckets["far"])
+    rows = [
+        ["nearest replica", fmt(near_direct, 0), fmt(near_cost, 0)],
+        ["farthest replica", fmt(far_direct, 0), fmt(far_cost, 0)],
+    ]
+    print_table(
+        "Locality: locate cost vs distance to closest replica (ms)",
+        ["placement", "direct latency", "locate latency"],
+        rows,
+    )
+    record_result(
+        "fig3_locality",
+        {"near": {"direct": near_direct, "locate": near_cost},
+         "far": {"direct": far_direct, "locate": far_cost}},
+    )
+    # Nearby replicas are found at materially lower cost.
+    assert near_cost < far_cost
+
+
+def test_fig3_searches_stop_before_root(benchmark):
+    """Most locates terminate at an intermediate pointer, not the root."""
+    network, mesh = make_mesh(150, seed=5)
+    nodes = sorted(mesh.nodes)
+    rng = random.Random(6)
+
+    def measure():
+        reached_root = 0
+        total = 0
+        for i in range(60):
+            guid = GUID.hash_of(f"stop-{i}".encode())
+            replica = rng.choice(nodes)
+            mesh.publish(replica, guid)
+            client = rng.choice(nodes)
+            result = mesh.locate(client, guid)
+            assert result.found
+            total += 1
+            if result.trace.reached_root:
+                reached_root += 1
+        return reached_root / total
+
+    fraction = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\n  locates that climbed all the way to the root: {fraction:.0%}")
+    record_result("fig3_root_fraction", {"reached_root": fraction})
+    assert fraction < 0.5
+
+
+def test_fig3_roots_spread_evenly(benchmark):
+    """'GUIDs become randomly mapped throughout the infrastructure'."""
+    network, mesh = make_mesh(100, seed=7)
+
+    def measure():
+        counts: dict[int, int] = {}
+        for i in range(300):
+            root = mesh.root_of(GUID.hash_of(f"load-{i}".encode()))
+            counts[root] = counts.get(root, 0) + 1
+        return counts
+
+    counts = benchmark.pedantic(measure, rounds=1, iterations=1)
+    distinct = len(counts)
+    heaviest = max(counts.values())
+    print(f"\n  300 GUIDs -> {distinct} distinct roots; heaviest root "
+          f"holds {heaviest}")
+    record_result(
+        "fig3_load_spread", {"distinct_roots": distinct, "heaviest": heaviest}
+    )
+    assert distinct > len(mesh.nodes) * 0.5
+    assert heaviest <= 300 * 0.1

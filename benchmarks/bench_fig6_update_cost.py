@@ -1,0 +1,126 @@
+"""E1 -- Figure 6: normalized update cost vs update size.
+
+The paper plots b / (u*n) for (m,n) in {(2,7), (3,10), (4,13)} with
+b = c1*n^2 + (u+c2)*n + c3.  The claimed anchors: for n=13 the
+normalized cost approaches 1 near 100 kB and approaches 2 around 4 kB.
+
+We regenerate the analytic curves *and* cross-check them against bytes
+actually sent by the simulated PBFT ring, which implements the same
+message pattern.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from conftest import fmt, print_table, record_result
+from repro.consistency import (
+    InnerRing,
+    minimum_cost_bytes,
+    normalized_cost,
+    update_cost_bytes,
+)
+from repro.crypto import make_principal
+from repro.data import AppendBlock, TruePredicate, UpdateBranch, make_update
+from repro.naming import object_guid
+from repro.sim import Kernel, Network
+
+#: The paper's three configurations.
+CONFIGS = [(2, 7), (3, 10), (4, 13)]
+#: Update sizes in bytes (0.1 kB .. 10 MB), log-spaced as in Figure 6.
+SIZES = [100, 400, 1_000, 4_000, 10_000, 40_000, 100_000, 1_000_000, 10_000_000]
+
+
+def analytic_series() -> dict[str, list[float]]:
+    series = {}
+    for m, n in CONFIGS:
+        series[f"m={m},n={n}"] = [normalized_cost(u, n) for u in SIZES]
+    return series
+
+
+def measured_bytes(m: int, update_size: int, seed: int = 0) -> float:
+    """Bytes across the network for one update through a real PBFT run."""
+    n = 3 * m + 1
+    kernel = Kernel()
+    graph = nx.complete_graph(n + 1)
+    nx.set_edge_attributes(graph, 50.0, "latency_ms")
+    network = Network(kernel, graph)
+    rng = random.Random(seed)
+    principals = [make_principal(f"r{i}", rng, bits=256) for i in range(n)]
+    ring = InnerRing(kernel, network, list(range(n)), principals, m=m)
+    author = make_principal("author", rng, bits=256)
+    update = make_update(
+        author,
+        object_guid(author.public_key, "bench"),
+        [UpdateBranch(TruePredicate(), (AppendBlock(b"x" * update_size),))],
+        1.0,
+    )
+    ring.submit(n, update)
+    kernel.run(until=60_000.0)
+    return network.stats_total_bytes / minimum_cost_bytes(update.size_bytes(), n)
+
+
+def test_fig6_analytic_curves(benchmark):
+    """Regenerate the Figure 6 series and check the paper's anchors."""
+    series = benchmark(analytic_series)
+    rows = []
+    for i, size in enumerate(SIZES):
+        rows.append(
+            [f"{size / 1000:g}k"]
+            + [fmt(series[f"m={m},n={n}"][i], 2) for m, n in CONFIGS]
+        )
+    print_table(
+        "Figure 6: normalized update cost (analytic)",
+        ["update size"] + [f"m={m},n={n}" for m, n in CONFIGS],
+        rows,
+    )
+    record_result("fig6_analytic", {"sizes": SIZES, "series": series})
+
+    n13 = series["m=4,n=13"]
+    # Anchor 1: approaches 1 around 100 kB.
+    assert n13[SIZES.index(100_000)] < 1.15
+    # Anchor 2: approaches 2 around 4 kB.
+    assert 1.3 < n13[SIZES.index(4_000)] < 2.2
+    # Curves are ordered: larger tiers cost more at every size.
+    for i in range(len(SIZES)):
+        assert series["m=2,n=7"][i] < series["m=3,n=10"][i] < series["m=4,n=13"][i]
+    # Monotone decreasing in update size.
+    assert n13 == sorted(n13, reverse=True)
+
+
+def test_fig6_measured_vs_analytic(benchmark):
+    """The simulated PBFT's byte counts track the equation's shape."""
+    rows = []
+    measured_series: dict[str, dict[str, float]] = {}
+    # Timing anchor: one full simulated agreement round at 10 kB.
+    benchmark.pedantic(measured_bytes, args=(1, 10_000), rounds=1, iterations=1)
+    for m, n in CONFIGS[:2]:  # keep runtime modest; shape is identical
+        for size in (1_000, 10_000, 100_000):
+            measured = measured_bytes(m, size)
+            predicted = normalized_cost(size, n)
+            measured_series[f"m={m},u={size}"] = {
+                "measured": measured,
+                "analytic": predicted,
+            }
+            rows.append([f"m={m},n={n}", f"{size / 1000:g}k", fmt(measured, 2), fmt(predicted, 2)])
+            assert 0.3 < measured / predicted < 3.0
+    print_table(
+        "Figure 6: measured (simulated PBFT) vs analytic",
+        ["config", "update size", "measured b/un", "analytic b/un"],
+        rows,
+    )
+    record_result("fig6_measured", measured_series)
+    # The qualitative claim: bigger updates amortize protocol overhead.
+    assert (
+        measured_series["m=2,u=100000"]["measured"]
+        < measured_series["m=2,u=1000"]["measured"]
+    )
+
+
+@pytest.mark.parametrize("m,n", CONFIGS)
+def test_bench_cost_model(benchmark, m, n):
+    """Timing anchor: evaluating the cost equation across the sweep."""
+    benchmark(lambda: [update_cost_bytes(u, n) for u in SIZES])

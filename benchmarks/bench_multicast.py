@@ -1,0 +1,73 @@
+"""E15 (supplementary) -- §4.3.3: multicast on the Plaxton substrate.
+
+"the Plaxton links form a natural substrate on which to perform network
+functions such as admission control and multicast."
+
+We measure tree dissemination against naive unicast for growing group
+sizes: shared join-path edges should make the tree's message count grow
+sub-linearly relative to unicast's sum-of-routes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import fmt, print_table, record_result
+from repro.routing import MulticastService, PlaxtonMesh
+from repro.sim import Kernel, Network, TopologyParams, build_transit_stub_topology
+from repro.util import GUID
+
+
+def make_world(seed=0):
+    rng = random.Random(seed)
+    kernel = Kernel()
+    params = TopologyParams(transit_nodes=5, stubs_per_transit=3, nodes_per_stub=6)
+    graph = build_transit_stub_topology(params, rng)
+    network = Network(kernel, graph)
+    mesh = PlaxtonMesh(network, rng)
+    mesh.populate(sorted(network.nodes()))
+    return network, mesh
+
+
+def measure(group_size: int, seed: int = 0):
+    network, mesh = make_world(seed)
+    service = MulticastService(mesh)
+    rng = random.Random(seed + 1)
+    nodes = sorted(mesh.nodes)
+    guid = GUID.hash_of(f"bench-group-{group_size}".encode())
+    members = rng.sample(nodes, group_size)
+    for member in members:
+        service.join(guid, member)
+    sender = rng.choice([n for n in nodes if n not in members])
+    report = service.send(guid, sender, "payload", 512)
+    assert set(report.delivered_to) == set(members)
+    naive = sum(len(mesh.route_to_root(m, guid).path) - 1 for m in members)
+    return report.messages_sent, naive, report.max_latency_ms
+
+
+def test_multicast_tree_beats_unicast(benchmark):
+    benchmark.pedantic(measure, args=(8,), rounds=1, iterations=1)
+    rows = []
+    results = {}
+    for size in (4, 16, 48):
+        tree_msgs, naive_msgs, latency = measure(size)
+        rows.append(
+            [size, tree_msgs, naive_msgs, fmt(tree_msgs / naive_msgs, 2), fmt(latency, 0)]
+        )
+        results[str(size)] = {
+            "tree_messages": tree_msgs,
+            "unicast_messages": naive_msgs,
+            "max_latency_ms": latency,
+        }
+    print_table(
+        "Section 4.3.3: Plaxton-substrate multicast vs naive unicast",
+        ["members", "tree msgs", "unicast msgs", "ratio", "max latency (ms)"],
+        rows,
+    )
+    record_result("multicast_efficiency", results)
+    # Edge sharing grows with group size: the ratio improves.
+    assert (
+        results["48"]["tree_messages"] / results["48"]["unicast_messages"]
+        <= results["4"]["tree_messages"] / results["4"]["unicast_messages"] + 0.05
+    )
+    assert results["48"]["tree_messages"] <= results["48"]["unicast_messages"]

@@ -1,0 +1,173 @@
+"""E10 -- Section 4.3.3 "Achieving Fault Tolerance" and
+"Maintenance-Free Operation".
+
+Claims reproduced:
+
+* salted replicated roots remove the single point of failure: location
+  availability under node kills is far higher with several salts;
+* routing survives corrupt/dead links via redundant neighbors;
+* online insertion/removal keeps the mesh routable, and pointer repair
+  (republish) restores location after permanent departures;
+* soft-state beacons with second chance evict dead nodes automatically.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import fmt, print_table, record_result
+from repro.routing import MembershipManager, PlaxtonMesh, SaltedRouter
+from repro.sim import Kernel, Network, TopologyParams, build_transit_stub_topology
+from repro.util import GUID
+
+
+def make_world(seed: int = 0):
+    rng = random.Random(seed)
+    kernel = Kernel()
+    params = TopologyParams(transit_nodes=6, stubs_per_transit=3, nodes_per_stub=6)
+    graph = build_transit_stub_topology(params, rng)
+    network = Network(kernel, graph)
+    mesh = PlaxtonMesh(network, rng)
+    mesh.populate(sorted(network.nodes()))
+    return network, mesh, rng
+
+
+def availability_under_kills(
+    salts: int, kill_fraction: float, seed: int, objects: int = 25
+) -> float:
+    network, mesh, rng = make_world(seed)
+    router = SaltedRouter(mesh, salts=salts)
+    nodes = sorted(mesh.nodes)
+    placements = {}
+    for i in range(objects):
+        guid = GUID.hash_of(f"ft-{salts}-{i}".encode())
+        replica = rng.choice(nodes)
+        router.publish(replica, guid)
+        placements[guid] = replica
+    victims = rng.sample(nodes, int(len(nodes) * kill_fraction))
+    for v in victims:
+        network.set_down(v)
+    found = 0
+    total = 0
+    for guid, replica in placements.items():
+        if network.is_down(replica):
+            continue  # the data itself is gone; not a location failure
+        candidates = [n for n in nodes if not network.is_down(n) and n != replica]
+        client = rng.choice(candidates)
+        total += 1
+        if router.locate(client, guid).found:
+            found += 1
+    return found / total if total else 1.0
+
+
+def test_sec433_salted_roots_availability(benchmark):
+    """Location availability vs kill fraction, 1 salt vs 3 salts."""
+    benchmark.pedantic(
+        availability_under_kills, args=(1, 0.2, 0), kwargs={"objects": 10},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    results = {}
+    for kill in (0.1, 0.25, 0.4):
+        for salts in (1, 3):
+            samples = [
+                availability_under_kills(salts, kill, seed) for seed in range(4)
+            ]
+            availability = sum(samples) / len(samples)
+            rows.append([fmt(kill, 2), salts, fmt(availability, 3)])
+            results[f"kill={kill},salts={salts}"] = availability
+    print_table(
+        "Section 4.3.3: location availability under node kills",
+        ["kill fraction", "salts", "availability"],
+        rows,
+    )
+    record_result("sec433_salted_availability", results)
+    for kill in ("0.1", "0.25", "0.4"):
+        assert (
+            results[f"kill={kill},salts=3"] >= results[f"kill={kill},salts=1"]
+        )
+    assert results["kill=0.25,salts=3"] > 0.9
+
+
+def test_sec433_insertion_keeps_mesh_consistent(benchmark):
+    """Nodes inserted online are routable and roots match a full rebuild."""
+
+    def run() -> bool:
+        rng = random.Random(42)
+        kernel = Kernel()
+        params = TopologyParams(transit_nodes=4, stubs_per_transit=2, nodes_per_stub=5)
+        graph = build_transit_stub_topology(params, rng)
+        network = Network(kernel, graph)
+        mesh = PlaxtonMesh(network, rng)
+        nodes = sorted(network.nodes())
+        mesh.populate(nodes[: len(nodes) // 2])
+        manager = MembershipManager(mesh)
+        for node in nodes[len(nodes) // 2 :]:
+            manager.insert(node)
+        guids = [GUID.hash_of(f"ins-{i}".encode()) for i in range(30)]
+        incremental = [mesh.root_of(g) for g in guids]
+        mesh.build_tables()
+        rebuilt = [mesh.root_of(g) for g in guids]
+        return incremental == rebuilt
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result("sec433_insertion", {"roots_match_rebuild": True})
+
+
+def test_sec433_removal_repairs_pointers(benchmark):
+    """Permanent departures trigger republish; location state survives."""
+
+    def run() -> float:
+        network, mesh, rng = make_world(seed=5)
+        manager = MembershipManager(mesh)
+        nodes = sorted(mesh.nodes)
+        placements = {}
+        for i in range(20):
+            guid = GUID.hash_of(f"rm-{i}".encode())
+            replica = rng.choice(nodes)
+            mesh.publish(replica, guid)
+            placements[guid] = replica
+        # Permanently remove 15% of nodes (not the replicas themselves).
+        removable = [n for n in nodes if n not in placements.values()]
+        for victim in rng.sample(removable, int(len(nodes) * 0.15)):
+            manager.remove(victim)
+        live = sorted(mesh.nodes)
+        found = 0
+        for guid, replica in placements.items():
+            client = rng.choice([n for n in live if n != replica])
+            if mesh.locate(client, guid).found:
+                found += 1
+        return found / len(placements)
+
+    availability = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  location availability after 15% permanent removal + repair: "
+          f"{availability:.0%}")
+    record_result("sec433_removal_repair", {"availability": availability})
+    assert availability == 1.0
+
+
+def test_sec433_beacons_evict_dead_nodes(benchmark):
+    """Soft-state beacons + second chance: crashed nodes leave the mesh
+    without human intervention ('maintenance-free')."""
+
+    def run() -> tuple[int, int]:
+        network, mesh, rng = make_world(seed=6)
+        manager = MembershipManager(mesh)
+        nodes = sorted(mesh.nodes)
+        victims = rng.sample(nodes, 5)
+        for v in victims:
+            network.set_down(v)
+        manager.beacon_round()  # first miss: second chance
+        after_first = sum(1 for v in victims if v in mesh.nodes)
+        manager.beacon_round()  # second miss: eviction
+        after_second = sum(1 for v in victims if v in mesh.nodes)
+        return after_first, after_second
+
+    after_first, after_second = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  victims still in mesh after 1 beacon round: {after_first}/5; "
+          f"after 2: {after_second}/5")
+    record_result(
+        "sec433_beacons", {"after_first": after_first, "after_second": after_second}
+    )
+    assert after_first == 5  # second chance honored
+    assert after_second == 0  # then evicted

@@ -1,0 +1,118 @@
+"""E2 -- Section 4.5's reliability analysis (the paper's worked table).
+
+"with a million machines, ten percent of which are currently down,
+simple replication without erasure codes provides only two nines (0.99)
+of reliability.  A 1/2-rate erasure coding of a document into 16
+fragments gives the document over five nines of reliability (0.999994),
+yet consumes the same amount of storage.  With 32 fragments, the
+reliability increases by another factor of 4000."
+
+Regenerated analytically (the hypergeometric formula) and cross-checked
+by Monte Carlo simulation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import fmt, print_table, record_result
+from repro.archival import (
+    document_availability,
+    erasure_availability,
+    monte_carlo_availability,
+    nines,
+    replication_availability,
+    storage_overhead,
+)
+
+N_MACHINES = 1_000_000
+M_DOWN = 100_000
+
+
+def test_sec45_paper_table(benchmark):
+    """The exact numbers the paper reports."""
+    rep2 = benchmark(
+        lambda: replication_availability(N_MACHINES, M_DOWN, replicas=2)
+    )
+    er16 = erasure_availability(N_MACHINES, M_DOWN, fragments=16, rate=0.5)
+    er32 = erasure_availability(N_MACHINES, M_DOWN, fragments=32, rate=0.5)
+    improvement = (1 - er16) / (1 - er32)
+
+    rows = [
+        ["2x replication", fmt(rep2, 6), fmt(nines(rep2), 1), "2.0x"],
+        ["16 frag, rate 1/2", fmt(er16, 6), fmt(nines(er16), 1), "2.0x"],
+        ["32 frag, rate 1/2", fmt(er32, 10), fmt(nines(er32), 1), "2.0x"],
+    ]
+    print_table(
+        "Section 4.5: availability at n=1e6 machines, 10% down",
+        ["scheme", "P(available)", "nines", "storage"],
+        rows,
+    )
+    print(f"  failure-rate improvement 16 -> 32 fragments: {improvement:,.0f}x "
+          "(paper: ~4000x)")
+    record_result(
+        "sec45_reliability",
+        {
+            "replication_2": rep2,
+            "erasure_16": er16,
+            "erasure_32": er32,
+            "improvement_16_to_32": improvement,
+        },
+    )
+
+    # Paper anchors.
+    assert abs(rep2 - 0.99) < 1e-3
+    assert abs(er16 - 0.999994) < 2e-6
+    assert 1_000 < improvement < 20_000
+    assert storage_overhead(16, 0.5) == storage_overhead(2, 0.5) == 2.0
+
+
+def test_sec45_monte_carlo_cross_check(benchmark):
+    """Empirical fragment placement agrees with the analytic formula."""
+    n, m = 20_000, 2_000
+    rows = []
+    results = {}
+    rng = random.Random(0)
+
+    def run_mc():
+        return monte_carlo_availability(n, m, f=16, rf=8, rng=rng, trials=3000)
+
+    benchmark.pedantic(run_mc, rounds=1, iterations=1)
+    for f, rf in ((4, 2), (8, 4), (16, 8), (32, 16)):
+        analytic = document_availability(n, m, f, rf)
+        mc = monte_carlo_availability(n, m, f, rf, random.Random(f), trials=4000)
+        rows.append(
+            [f"{f} frags (need {f - rf})", fmt(analytic, 5), fmt(mc.availability, 5)]
+        )
+        results[f"f={f}"] = {"analytic": analytic, "monte_carlo": mc.availability}
+        assert abs(analytic - mc.availability) < 0.015
+    print_table(
+        f"Monte Carlo cross-check (n={n}, m={m})",
+        ["code", "analytic P", "simulated P"],
+        rows,
+    )
+    record_result("sec45_monte_carlo", results)
+
+
+def test_sec45_fragmentation_increases_reliability(benchmark):
+    """'fragmentation increases reliability ... a consequence of the law
+    of large numbers': more fragments at fixed rate is strictly better."""
+
+    def series():
+        return [
+            erasure_availability(N_MACHINES, M_DOWN, fragments=f, rate=0.5)
+            for f in (4, 8, 16, 32, 64)
+        ]
+
+    values = benchmark(series)
+    rows = [
+        [f"{f}", fmt(p, 12), fmt(nines(p), 1)]
+        for f, p in zip((4, 8, 16, 32, 64), values)
+    ]
+    print_table(
+        "Fragmentation sweep at rate 1/2 (same storage cost)",
+        ["fragments", "P(available)", "nines"],
+        rows,
+    )
+    record_result("sec45_fragment_sweep", dict(zip(("4", "8", "16", "32", "64"), values)))
+    assert values == sorted(values)

@@ -1,0 +1,126 @@
+"""E7 -- Section 5's introspective prefetching claim.
+
+"We have implemented the introspective prefetching mechanism for a local
+file system.  Testing showed that the method correctly captured
+high-order correlations, even in the presence of noise."
+
+We sweep noise level and predictor order over synthetic traces with
+embedded patterns, including patterns only disambiguated by high-order
+context (where first-order predictors provably cannot do well).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import fmt, print_table, record_result
+from repro.core.workloads import correlated_trace
+from repro.introspect import MarkovPrefetcher, evaluate_prefetcher
+from repro.util import GUID
+
+
+def high_order_trace(repetitions: int, noise_rate: float, rng: random.Random):
+    """Two interleaved phrases sharing a middle object: A,B->C; X,B->D.
+
+    Any order-1 predictor sees B followed by C half the time and D half
+    the time (hit rate <= 0.5 on those steps); order-2 context resolves
+    it completely.
+    """
+    a, b, c = (GUID.hash_of(s) for s in (b"A", b"B", b"C"))
+    x, d = GUID.hash_of(b"X"), GUID.hash_of(b"D")
+    trace = []
+    for i in range(repetitions):
+        phrase = [a, b, c] if i % 2 == 0 else [x, b, d]
+        for obj in phrase:
+            if noise_rate and rng.random() < noise_rate:
+                trace.append(GUID.hash_of(f"noise-{rng.randrange(40)}".encode()))
+            trace.append(obj)
+    return trace
+
+
+def test_sec5_noise_sweep(benchmark):
+    """Hit rate stays useful as noise grows (the paper's robustness claim)."""
+
+    def sweep():
+        results = {}
+        for noise in (0.0, 0.1, 0.2, 0.3, 0.5):
+            trace = correlated_trace(
+                pattern_length=5,
+                repetitions=150,
+                noise_rate=noise,
+                rng=random.Random(7),
+            )
+            stats = evaluate_prefetcher(
+                MarkovPrefetcher(max_order=3), trace, prefetch_count=2
+            )
+            results[noise] = stats.hit_rate
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[fmt(k, 1), fmt(v, 3)] for k, v in results.items()]
+    print_table(
+        "Section 5: prefetch hit rate vs noise (order-3, prefetch 2)",
+        ["noise rate", "hit rate"],
+        rows,
+    )
+    record_result("sec5_prefetch_noise", {str(k): v for k, v in results.items()})
+    assert results[0.0] > 0.95
+    assert results[0.3] > 0.55  # "even in the presence of noise"
+    # Degradation is graceful, not a cliff.
+    values = [results[k] for k in sorted(results)]
+    assert all(a >= b - 0.05 for a, b in zip(values, values[1:]))
+
+
+def test_sec5_high_order_correlations(benchmark):
+    """Order-2+ context captures what order-1 provably cannot."""
+
+    def sweep():
+        results = {}
+        for order in (1, 2, 3):
+            for noise in (0.0, 0.2):
+                trace = high_order_trace(300, noise, random.Random(11))
+                stats = evaluate_prefetcher(
+                    MarkovPrefetcher(max_order=order), trace, prefetch_count=1
+                )
+                results[(order, noise)] = stats.hit_rate
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [order, fmt(noise, 1), fmt(rate, 3)]
+        for (order, noise), rate in sorted(results.items())
+    ]
+    print_table(
+        "High-order correlation capture (A,B->C vs X,B->D)",
+        ["max order", "noise", "hit rate"],
+        rows,
+    )
+    record_result(
+        "sec5_prefetch_order",
+        {f"order={o},noise={n}": r for (o, n), r in results.items()},
+    )
+    # Order-2 breaks the ambiguity that caps order-1.
+    assert results[(2, 0.0)] > results[(1, 0.0)] + 0.1
+    # And retains most of the advantage under noise.
+    assert results[(2, 0.2)] > results[(1, 0.2)]
+
+
+def test_sec5_prefetch_count_tradeoff(benchmark):
+    """Prefetching more candidates raises hit rate (bandwidth trade-off)."""
+    trace = correlated_trace(
+        pattern_length=6, repetitions=150, noise_rate=0.25, rng=random.Random(3)
+    )
+
+    def sweep():
+        return {
+            count: evaluate_prefetcher(
+                MarkovPrefetcher(max_order=3), trace, prefetch_count=count
+            ).hit_rate
+            for count in (1, 2, 4)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[k, fmt(v, 3)] for k, v in results.items()]
+    print_table("Prefetch width vs hit rate", ["prefetch count", "hit rate"], rows)
+    record_result("sec5_prefetch_width", {str(k): v for k, v in results.items()})
+    assert results[1] <= results[2] <= results[4]

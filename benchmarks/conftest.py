@@ -1,0 +1,41 @@
+"""Shared benchmark-harness helpers.
+
+Each bench module regenerates one table or figure from the paper: it
+computes the sweep, prints the same rows/series the paper reports, and
+records the numbers as JSON under ``benchmarks/results/`` so
+EXPERIMENTS.md can cite them.  pytest-benchmark wraps a representative
+unit of work from each experiment for timing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_result(experiment: str, data: Any) -> None:
+    """Persist an experiment's series for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.json"
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True, default=str)
+
+
+def print_table(title: str, headers: list[str], rows: list[list[Any]]) -> None:
+    """Render a fixed-width table to stdout (visible with pytest -s)."""
+    widths = [
+        max(len(str(h)), *(len(str(row[i])) for row in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n== {title} ==")
+    print("  " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rows:
+        print("  " + " | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"

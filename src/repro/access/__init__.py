@@ -1,0 +1,28 @@
+"""Access control: ACLs, owner certificates, server-side write checks.
+
+Implements Section 4.2: reader restriction happens through key
+distribution (see :mod:`repro.crypto.keys`); writer restriction happens
+here, at well-behaved servers, by verifying signed writes against ACLs.
+"""
+
+from repro.access.acl import ACL, ACLCertificate, ACLEntry, Privilege, acl_digest
+from repro.access.policy import (
+    DEFAULT_OWNER_ONLY,
+    DEFAULT_PUBLIC_WRITE,
+    AccessChecker,
+    CheckResult,
+    WriteDecision,
+)
+
+__all__ = [
+    "ACL",
+    "ACLCertificate",
+    "ACLEntry",
+    "AccessChecker",
+    "CheckResult",
+    "DEFAULT_OWNER_ONLY",
+    "DEFAULT_PUBLIC_WRITE",
+    "Privilege",
+    "WriteDecision",
+    "acl_digest",
+]

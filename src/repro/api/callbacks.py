@@ -1,0 +1,76 @@
+"""Application callbacks (Section 4.6).
+
+"The API also provides a callback feature to notify applications of
+relevant events.  An application can register an application-level
+handler to be invoked at the occurrence of relevant events, such as the
+commit or abort of an update."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from repro.util.ids import GUID
+
+
+class ApiEvent(Enum):
+    UPDATE_COMMITTED = "update-committed"
+    UPDATE_ABORTED = "update-aborted"
+    UPDATE_TENTATIVE = "update-tentative"
+    NEW_VERSION = "new-version"
+
+
+@dataclass(frozen=True, slots=True)
+class Notification:
+    event: ApiEvent
+    object_guid: GUID
+    update_id: bytes | None = None
+    version: int | None = None
+
+
+Handler = Callable[[Notification], None]
+
+
+class CallbackRegistry:
+    """Per-object and global handler registration and dispatch."""
+
+    def __init__(self) -> None:
+        self._by_object: dict[tuple[GUID, ApiEvent], list[Handler]] = {}
+        self._global: dict[ApiEvent, list[Handler]] = {}
+        self.delivered = 0
+
+    def register(
+        self,
+        event: ApiEvent,
+        handler: Handler,
+        object_guid: GUID | None = None,
+    ) -> None:
+        if object_guid is None:
+            self._global.setdefault(event, []).append(handler)
+        else:
+            self._by_object.setdefault((object_guid, event), []).append(handler)
+
+    def unregister(
+        self,
+        event: ApiEvent,
+        handler: Handler,
+        object_guid: GUID | None = None,
+    ) -> None:
+        handlers = (
+            self._global.get(event)
+            if object_guid is None
+            else self._by_object.get((object_guid, event))
+        )
+        if handlers and handler in handlers:
+            handlers.remove(handler)
+
+    def notify(self, notification: Notification) -> None:
+        handlers = list(self._global.get(notification.event, []))
+        handlers += self._by_object.get(
+            (notification.object_guid, notification.event), []
+        )
+        for handler in handlers:
+            self.delivered += 1
+            handler(notification)

@@ -1,0 +1,27 @@
+"""Legacy facades over the native API (Section 4.6): a Unix-style file
+system and a transactional interface."""
+
+from repro.api.facades.fs import (
+    FileNotFound,
+    FileSystemError,
+    FileSystemFacade,
+)
+from repro.api.facades.transactional import (
+    Transaction,
+    TransactionError,
+    TransactionState,
+    TransactionalFacade,
+)
+from repro.api.facades.web import WebGateway, WebResponse
+
+__all__ = [
+    "FileNotFound",
+    "FileSystemError",
+    "FileSystemFacade",
+    "Transaction",
+    "TransactionError",
+    "TransactionState",
+    "TransactionalFacade",
+    "WebGateway",
+    "WebResponse",
+]

@@ -1,0 +1,137 @@
+"""The transactional facade (Sections 4.4.1 and 4.6).
+
+"The model can be used to provide ACID semantics: the first predicate is
+made to check the read set of a transaction, the corresponding action
+applies the write set, and there are no other predicate-action pairs."
+
+A transaction opens against one object, tracks the blocks it reads, and
+buffers its writes.  Commit produces a *single* update whose guard is the
+conjunction of compare-version and compare-block predicates over the read
+set; the actions are the buffered write set.  The facade "simplif[ies]
+the application writer's job by ensuring proper session guarantees,
+reusing standard update templates, and automatically computing read sets
+and write sets for each update."
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.api.oceanstore import ObjectHandle, OceanStoreHandle
+from repro.api.session import Session, SessionGuarantee
+
+
+class TransactionState(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TransactionError(RuntimeError):
+    pass
+
+
+class Transaction:
+    """One optimistic transaction against a single object."""
+
+    def __init__(self, store: OceanStoreHandle, handle: ObjectHandle) -> None:
+        self.store = store
+        self.handle = handle
+        self.session: Session = store.open_session(SessionGuarantee.ACID)
+        self._snapshot = store.read_state(handle, self.session)
+        self._builder = store.update_builder(handle, self.session)
+        self._read_blocks: set[int] = set()
+        self._read_version = False
+        self.state = TransactionState.ACTIVE
+
+    def _check_active(self) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionError(f"transaction is {self.state.value}")
+
+    # -- reads (tracked) --------------------------------------------------------
+
+    def read(self) -> bytes:
+        """Read the whole document; the read set covers every block."""
+        self._check_active()
+        self._read_version = True
+        return self.handle.codec.read_document(self._snapshot.data)
+
+    def read_block(self, index: int) -> bytes:
+        """Read one logical block; only it joins the read set."""
+        self._check_active()
+        self._read_blocks.add(index)
+        return self.handle.codec.read_logical_block(self._snapshot.data, index)
+
+    # -- writes (buffered) ----------------------------------------------------------
+
+    def append(self, data: bytes) -> "Transaction":
+        self._check_active()
+        self._builder.append(data)
+        return self
+
+    def replace(self, slot: int, data: bytes) -> "Transaction":
+        self._check_active()
+        self._builder.replace(slot, data)
+        return self
+
+    def insert(self, slot: int, data: bytes) -> "Transaction":
+        self._check_active()
+        self._builder.insert(slot, data)
+        return self
+
+    def delete(self, slot: int) -> "Transaction":
+        self._check_active()
+        self._builder.delete(slot)
+        return self
+
+    # -- outcome -------------------------------------------------------------------------
+
+    def commit(self) -> bool:
+        """Build the read-set-guarded update and submit it.
+
+        Returns True on commit.  A conflicting concurrent update makes
+        the guard fail server-side: the update aborts, not the system.
+        """
+        self._check_active()
+        if self._read_version or not self._read_blocks:
+            # Whole-document reads (or blind writes) guard on the version.
+            self._builder.guard_version()
+        for index in sorted(self._read_blocks):
+            self._builder.guard_block(index)
+        result = self.store.submit(self.handle, self._builder, self.session)
+        self.state = (
+            TransactionState.COMMITTED if result.committed else TransactionState.ABORTED
+        )
+        return result.committed
+
+    def abort(self) -> None:
+        self._check_active()
+        self.state = TransactionState.ABORTED
+
+
+class TransactionalFacade:
+    """Begin/commit/abort interface over the OceanStore API."""
+
+    def __init__(self, store: OceanStoreHandle) -> None:
+        self.store = store
+
+    def begin(self, handle: ObjectHandle) -> Transaction:
+        return Transaction(self.store, handle)
+
+    def run(self, handle: ObjectHandle, body, max_retries: int = 5) -> bool:
+        """Run ``body(txn)`` with optimistic retry on conflict.
+
+        "conflict resolution reduces the number of aborts normally seen
+        in detection-based schemes" -- but aborts still happen; retrying
+        against fresh state is the standard recovery.
+        """
+        if max_retries < 1:
+            raise TransactionError("max_retries must be >= 1")
+        for _ in range(max_retries):
+            txn = self.begin(handle)
+            body(txn)
+            if txn.state is TransactionState.ABORTED:
+                return False  # body chose to abort; honor it
+            if txn.commit():
+                return True
+        return False

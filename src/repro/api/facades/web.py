@@ -1,0 +1,107 @@
+"""The World Wide Web gateway facade (Sections 4.6 and 5).
+
+"OceanStore provides a number of legacy facades ... and a gateway to the
+World Wide Web"; the prototype planned "a read-only proxy for the World
+Wide Web".
+
+The gateway answers GET-style requests for ``oceanstore://`` URLs:
+
+* ``oceanstore://<guid-hex>``            -- latest version of an object
+* ``oceanstore://<guid-hex>@<version>``  -- a permanent hyper-link
+  (Section 4.5's version-qualified naming), served from the archival
+  form so it can never change underneath the link;
+* ``oceanstore://fs/<path>``             -- a path through the user's
+  file-system facade root.
+
+It is strictly read-only (the proxy holds read keys but never signs
+updates) and returns familiar status codes so legacy clients behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.backend import UnknownObject
+from repro.api.facades.fs import FileNotFound, FileSystemError, FileSystemFacade
+from repro.api.oceanstore import OceanStoreHandle
+from repro.naming.versions import parse_versioned_name
+
+SCHEME = "oceanstore://"
+
+
+@dataclass(frozen=True, slots=True)
+class WebResponse:
+    status: int
+    body: bytes
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+class WebGateway:
+    """A read-only proxy from URL space into the OceanStore."""
+
+    def __init__(
+        self,
+        store: OceanStoreHandle,
+        filesystem: FileSystemFacade | None = None,
+        archive_reader=None,
+    ) -> None:
+        """``archive_reader(guid, version) -> DataObjectState`` serves
+        permanent links from archival forms; when the backend is an
+        :class:`~repro.core.system.OceanStoreSystem`, pass its
+        ``restore_from_archive``.
+        """
+        self.store = store
+        self.filesystem = filesystem
+        self.archive_reader = archive_reader
+
+    def get(self, url: str) -> WebResponse:
+        """Resolve an oceanstore:// URL to content."""
+        if not url.startswith(SCHEME):
+            return WebResponse(400, b"", f"unsupported scheme in {url!r}")
+        rest = url[len(SCHEME) :]
+        if rest.startswith("fs/"):
+            return self._get_path(rest[3:])
+        return self._get_object(rest)
+
+    # -- object URLs -------------------------------------------------------
+
+    def _get_object(self, spec: str) -> WebResponse:
+        try:
+            name = parse_versioned_name(spec)
+        except ValueError as exc:
+            return WebResponse(400, b"", str(exc))
+        if not self.store.keyring.has_key(name.guid):
+            return WebResponse(403, b"", "no read key for object")
+        handle = self.store.open_object(name.guid)
+        if name.version is None:
+            try:
+                return WebResponse(200, self.store.read(handle))
+            except UnknownObject:
+                return WebResponse(404, b"", "object not found")
+        if self.archive_reader is None:
+            return WebResponse(501, b"", "no archival reader configured")
+        try:
+            state = self.archive_reader(name.guid, name.version)
+        except (UnknownObject, KeyError):
+            return WebResponse(404, b"", f"version {name.version} not archived")
+        return WebResponse(200, handle.codec.read_document(state.data))
+
+    # -- filesystem URLs --------------------------------------------------------
+
+    def _get_path(self, path: str) -> WebResponse:
+        if self.filesystem is None:
+            return WebResponse(501, b"", "no filesystem mounted")
+        try:
+            if not path or path.endswith("/"):
+                listing = self.filesystem.listdir(path or "/")
+                body = "\n".join(listing).encode()
+                return WebResponse(200, body)
+            return WebResponse(200, self.filesystem.read_file(path))
+        except FileNotFound as exc:
+            return WebResponse(404, b"", str(exc))
+        except FileSystemError as exc:
+            return WebResponse(400, b"", str(exc))

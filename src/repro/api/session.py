@@ -1,0 +1,115 @@
+"""Sessions and session guarantees (Sections 2 and 4.6).
+
+"An application writer views the OceanStore as a number of sessions.
+Each session is a sequence of read and write requests related to one
+another through the session guarantees, in the style of the Bayou system.
+Session guarantees dictate the level of consistency seen by a session's
+reads and writes; they can range from supporting extremely loose
+consistency semantics to supporting the ACID semantics favored in
+databases."
+
+The four Bayou guarantees are modelled over version numbers:
+
+* READ_YOUR_WRITES -- reads reflect every write this session made;
+* MONOTONIC_READS -- reads never see an older version than before;
+* WRITES_FOLLOW_READS -- writes are ordered after the reads they depend
+  on (enforced with a compare-version floor on the write's guard);
+* MONOTONIC_WRITES -- this session's writes apply in issue order.
+
+``ACID`` demands committed data only and bundles all four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Flag, auto
+
+from repro.data.update import DataObjectState
+from repro.util.ids import GUID
+
+
+class SessionGuarantee(Flag):
+    NONE = 0
+    READ_YOUR_WRITES = auto()
+    MONOTONIC_READS = auto()
+    WRITES_FOLLOW_READS = auto()
+    MONOTONIC_WRITES = auto()
+    ACID = (
+        READ_YOUR_WRITES | MONOTONIC_READS | WRITES_FOLLOW_READS | MONOTONIC_WRITES
+    )
+
+
+class GuaranteeViolation(RuntimeError):
+    """A replica could not satisfy the session's guarantees."""
+
+
+@dataclass
+class SessionState:
+    """Per-object vectors a session maintains to enforce guarantees."""
+
+    #: highest version this session has read, per object
+    read_floor: dict[GUID, int] = field(default_factory=dict)
+    #: highest version resulting from this session's own writes
+    write_floor: dict[GUID, int] = field(default_factory=dict)
+
+
+class Session:
+    """A sequence of reads and writes bound by guarantees.
+
+    The session does not fetch data itself; callers present the state a
+    replica offered, and the session either accepts it (recording what
+    was seen) or raises :class:`GuaranteeViolation`, telling the caller
+    to find a fresher replica.  This keeps the guarantee logic pure and
+    testable, with I/O in the client layer.
+    """
+
+    def __init__(self, guarantees: SessionGuarantee = SessionGuarantee.NONE) -> None:
+        self.guarantees = guarantees
+        self.state = SessionState()
+
+    # -- floors ----------------------------------------------------------------
+
+    def min_acceptable_version(self, object_guid: GUID) -> int:
+        """The lowest version a replica may serve this session."""
+        floor = 0
+        if self.guarantees & SessionGuarantee.MONOTONIC_READS:
+            floor = max(floor, self.state.read_floor.get(object_guid, 0))
+        if self.guarantees & SessionGuarantee.READ_YOUR_WRITES:
+            floor = max(floor, self.state.write_floor.get(object_guid, 0))
+        return floor
+
+    def write_depends_on_version(self, object_guid: GUID) -> int:
+        """Version floor a write must be serialized after."""
+        floor = 0
+        if self.guarantees & SessionGuarantee.WRITES_FOLLOW_READS:
+            floor = max(floor, self.state.read_floor.get(object_guid, 0))
+        if self.guarantees & SessionGuarantee.MONOTONIC_WRITES:
+            floor = max(floor, self.state.write_floor.get(object_guid, 0))
+        return floor
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def check_read(self, object_guid: GUID, offered: DataObjectState) -> DataObjectState:
+        """Validate an offered replica state against the guarantees.
+
+        On success the read is recorded and the state returned; on
+        failure :class:`GuaranteeViolation` is raised and nothing is
+        recorded.
+        """
+        floor = self.min_acceptable_version(object_guid)
+        if offered.version < floor:
+            raise GuaranteeViolation(
+                f"replica at version {offered.version} below session floor {floor}"
+            )
+        current = self.state.read_floor.get(object_guid, 0)
+        self.state.read_floor[object_guid] = max(current, offered.version)
+        return offered
+
+    def record_write(self, object_guid: GUID, resulting_version: int) -> None:
+        current = self.state.write_floor.get(object_guid, 0)
+        self.state.write_floor[object_guid] = max(current, resulting_version)
+
+    @property
+    def requires_committed_data(self) -> bool:
+        """ACID sessions must not observe tentative state."""
+        return self.guarantees == SessionGuarantee.ACID

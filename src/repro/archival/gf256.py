@@ -1,0 +1,121 @@
+"""GF(2^8) arithmetic for Reed-Solomon coding.
+
+The field is GF(2)[x] mod the primitive polynomial x^8+x^4+x^3+x^2+1
+(0x11D), the conventional choice for storage codes; alpha = 2 generates
+the multiplicative group.  Exp/log tables make multiplication a lookup,
+and numpy vectorization keeps whole-fragment operations fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+PRIMITIVE_POLY = 0x11D
+FIELD_SIZE = 256
+
+_EXP = np.zeros(512, dtype=np.uint8)
+_LOG = np.zeros(256, dtype=np.int32)
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(255):
+        _EXP[power] = value
+        _LOG[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    # Duplicate so exp lookups need no modular reduction for sums < 510.
+    for power in range(255, 512):
+        _EXP[power] = _EXP[power - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Scalar multiply in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[int(_LOG[a]) + int(_LOG[b])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Scalar divide; division by zero raises."""
+    if b == 0:
+        raise ZeroDivisionError("GF(256) division by zero")
+    if a == 0:
+        return 0
+    return int(_EXP[(int(_LOG[a]) - int(_LOG[b])) % 255])
+
+
+def gf_inv(a: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return int(_EXP[255 - int(_LOG[a])])
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    if a == 0:
+        return 0 if exponent > 0 else 1
+    return int(_EXP[(int(_LOG[a]) * exponent) % 255])
+
+
+def gf_mul_bytes(scalar: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by ``scalar`` (vectorized)."""
+    if scalar == 0:
+        return np.zeros_like(data)
+    if scalar == 1:
+        return data.copy()
+    log_s = int(_LOG[scalar])
+    result = np.zeros_like(data)
+    nonzero = data != 0
+    result[nonzero] = _EXP[_LOG[data[nonzero]] + log_s]
+    return result
+
+
+def gf_matmul(matrix: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Matrix (r x k) times data (k x L) over GF(256)."""
+    rows, k = matrix.shape
+    if data.shape[0] != k:
+        raise ValueError(f"shape mismatch: matrix k={k}, data rows={data.shape[0]}")
+    out = np.zeros((rows, data.shape[1]), dtype=np.uint8)
+    for i in range(rows):
+        acc = np.zeros(data.shape[1], dtype=np.uint8)
+        for j in range(k):
+            coeff = int(matrix[i, j])
+            if coeff:
+                acc ^= gf_mul_bytes(coeff, data[j])
+        out[i] = acc
+    return out
+
+
+def gf_mat_inv(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(256) by Gauss-Jordan elimination.
+
+    Raises ``ValueError`` if singular.
+    """
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError("matrix must be square")
+    a = matrix.astype(np.int32).copy()
+    inv = np.eye(n, dtype=np.int32)
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if a[r, col] != 0), None)
+        if pivot is None:
+            raise ValueError("singular matrix over GF(256)")
+        if pivot != col:
+            a[[col, pivot]] = a[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        pivot_inv = gf_inv(int(a[col, col]))
+        for c in range(n):
+            a[col, c] = gf_mul(int(a[col, c]), pivot_inv)
+            inv[col, c] = gf_mul(int(inv[col, c]), pivot_inv)
+        for r in range(n):
+            if r == col or a[r, col] == 0:
+                continue
+            factor = int(a[r, col])
+            for c in range(n):
+                a[r, c] ^= gf_mul(factor, int(a[col, c]))
+                inv[r, c] ^= gf_mul(factor, int(inv[col, c]))
+    return inv.astype(np.uint8)

@@ -1,0 +1,74 @@
+"""Consistency management in an untrusted infrastructure (Section 4.4).
+
+The primary tier serializes updates with Byzantine agreement
+(:mod:`~repro.consistency.pbft`); the secondary tier spreads tentative
+updates epidemically and receives committed results down dissemination
+trees (:mod:`~repro.consistency.secondary`,
+:mod:`~repro.consistency.dissemination`).  Optimistic timestamps order
+tentative state (:mod:`~repro.consistency.timestamps`), and
+:mod:`~repro.consistency.costmodel` is the analytic bandwidth model of
+Figure 6.
+"""
+
+from repro.consistency.costmodel import (
+    PROTOCOL_PHASES,
+    CostConstants,
+    crossover_update_size,
+    latency_estimate_ms,
+    minimum_cost_bytes,
+    normalized_cost,
+    replicas_for_faults,
+    update_cost_bytes,
+)
+from repro.consistency.dissemination import DisseminationTree, TreeError
+from repro.consistency.pbft import (
+    SMALL_MESSAGE_BYTES,
+    ClientRequest,
+    CommitCertificate,
+    FaultMode,
+    InnerRing,
+    PBFTReplica,
+    update_digest,
+)
+from repro.consistency.secondary import (
+    AntiEntropyRequest,
+    CommittedPush,
+    Invalidation,
+    SecondaryReplica,
+    SecondaryTier,
+    TentativeGossip,
+)
+from repro.consistency.timestamps import (
+    OptimisticTimestamp,
+    order_agreement,
+    tentative_order,
+)
+
+__all__ = [
+    "AntiEntropyRequest",
+    "ClientRequest",
+    "CommitCertificate",
+    "CommittedPush",
+    "CostConstants",
+    "DisseminationTree",
+    "FaultMode",
+    "InnerRing",
+    "Invalidation",
+    "OptimisticTimestamp",
+    "PBFTReplica",
+    "PROTOCOL_PHASES",
+    "SMALL_MESSAGE_BYTES",
+    "SecondaryReplica",
+    "SecondaryTier",
+    "TentativeGossip",
+    "TreeError",
+    "crossover_update_size",
+    "latency_estimate_ms",
+    "minimum_cost_bytes",
+    "normalized_cost",
+    "order_agreement",
+    "replicas_for_faults",
+    "tentative_order",
+    "update_cost_bytes",
+    "update_digest",
+]

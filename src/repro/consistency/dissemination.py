@@ -1,0 +1,150 @@
+"""Dissemination trees (Section 4.4.3, Figure 5c).
+
+Secondary replicas "are organized into one or more application-level
+multicast trees, called dissemination trees, that serve as conduits of
+information between the primary tier and secondary tier ... the
+dissemination trees push a stream of committed updates to the secondary
+replicas, and they serve as communication paths along which secondary
+replicas pull missing information from parents and primary replicas.
+This architecture permits dissemination trees to transform updates into
+invalidations as they progress downward; such a transformation is
+exploited at the leaves of the network where bandwidth is limited."
+
+The tree is built greedily by latency: members attach to the closest
+already-attached node with spare fanout, which keeps subtrees regional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.network import Network, NodeId
+
+
+class TreeError(RuntimeError):
+    pass
+
+
+@dataclass
+class DisseminationTree:
+    """Latency-aware multicast tree rooted at the primary tier's contact."""
+
+    network: Network
+    root: NodeId
+    max_fanout: int = 4
+    _children: dict[NodeId, list[NodeId]] = field(default_factory=dict)
+    _parent: dict[NodeId, NodeId] = field(default_factory=dict)
+    #: members flagged as bandwidth-limited leaves: they receive
+    #: invalidations instead of full updates.
+    low_bandwidth: set[NodeId] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.max_fanout < 1:
+            raise TreeError("max_fanout must be >= 1")
+        self._children.setdefault(self.root, [])
+
+    # -- membership ---------------------------------------------------------
+
+    @property
+    def members(self) -> list[NodeId]:
+        return list(self._children)
+
+    def add_member(self, node: NodeId) -> NodeId:
+        """Attach ``node`` to the closest member with spare fanout;
+        returns the chosen parent."""
+        if node in self._children:
+            raise TreeError(f"{node} already in tree")
+        candidates = [
+            member
+            for member, kids in self._children.items()
+            if len(kids) < self.max_fanout
+        ]
+        if not candidates:
+            raise TreeError("tree full at current fanout")
+        parent = min(
+            candidates,
+            key=lambda member: (self.network.latency_ms(node, member), member),
+        )
+        self._children[parent].append(node)
+        self._children[node] = []
+        self._parent[node] = parent
+        return parent
+
+    def remove_member(self, node: NodeId) -> None:
+        """Detach a member; orphaned subtrees re-attach greedily."""
+        if node == self.root:
+            raise TreeError("cannot remove the root")
+        if node not in self._children:
+            raise TreeError(f"{node} not in tree")
+        orphans = self._children.pop(node)
+        parent = self._parent.pop(node)
+        self._children[parent].remove(node)
+        self.low_bandwidth.discard(node)
+        for orphan in orphans:
+            subtree = self._subtree(orphan)
+            candidates = [
+                member
+                for member, kids in self._children.items()
+                if len(kids) < self.max_fanout and member not in subtree
+            ]
+            if not candidates:
+                raise TreeError("tree full while re-attaching orphans")
+            new_parent = min(
+                candidates,
+                key=lambda member: (self.network.latency_ms(orphan, member), member),
+            )
+            self._children[new_parent].append(orphan)
+            self._parent[orphan] = new_parent
+
+    def _subtree(self, node: NodeId) -> set[NodeId]:
+        result = {node}
+        stack = [node]
+        while stack:
+            for child in self._children.get(stack.pop(), []):
+                result.add(child)
+                stack.append(child)
+        return result
+
+    def children(self, node: NodeId) -> list[NodeId]:
+        return list(self._children.get(node, []))
+
+    def parent(self, node: NodeId) -> NodeId | None:
+        return self._parent.get(node)
+
+    def depth(self, node: NodeId) -> int:
+        depth = 0
+        current = node
+        while current != self.root:
+            current = self._parent[current]
+            depth += 1
+        return depth
+
+    def mark_low_bandwidth(self, node: NodeId) -> None:
+        if node not in self._children:
+            raise TreeError(f"{node} not in tree")
+        self.low_bandwidth.add(node)
+
+    # -- multicast ----------------------------------------------------------------
+
+    def send_to_children(
+        self,
+        node: NodeId,
+        payload: object,
+        size_bytes: int,
+        small_payload: object | None = None,
+        small_size_bytes: int = 100,
+    ) -> None:
+        """Forward one hop down the tree from ``node``.
+
+        Multicast is hop-by-hop: the root calls this once, and each
+        member calls it again when the message *arrives* (so latency
+        accumulates down the tree, as in a real overlay).  If
+        ``small_payload`` is given, low-bandwidth children receive it
+        instead of the full payload -- the update-to-invalidation
+        transformation at bandwidth-limited edges.
+        """
+        for child in self._children.get(node, []):
+            degrade = small_payload is not None and child in self.low_bandwidth
+            child_payload = small_payload if degrade else payload
+            child_size = small_size_bytes if degrade else size_bytes
+            self.network.send(node, child, child_payload, child_size)

@@ -1,0 +1,682 @@
+"""Byzantine agreement for the primary tier (Section 4.4.3).
+
+"We replace this master replica with a primary tier of replicas.  These
+replicas cooperate with one another in a Byzantine agreement protocol to
+choose the final commit order for updates" -- with n = 3m + 1 replicas
+tolerating m faults (footnote 8), in the style of Castro-Liskov PBFT [10].
+
+This is a working implementation of PBFT's normal case (pre-prepare /
+prepare / commit with in-order execution) plus a view change sufficient
+to survive leader failure, running over the simulated network with
+accurate byte accounting -- the measured counterpart of the Figure 6
+analytic model.  Faulty replicas can be *silent* (crashed) or
+*equivocating* (wrong digests, which honest replicas reject).
+
+To allow "later, offline verification by a party who did not participate
+in the protocol" the replicas each sign the serialization result; 2m+1
+matching signature shares form a :class:`CommitCertificate` (the paper's
+planned proactive-threshold-signature role, modelled with an aggregate of
+individual signatures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.crypto.hashes import sha256
+from repro.crypto.keys import Principal
+from repro.data.update import Update
+from repro.sim.kernel import Kernel
+from repro.sim.network import Message, Network, NodeId
+from repro.util import serialization
+
+#: Size in bytes of small protocol messages (the paper's c1 ~ 100 bytes).
+SMALL_MESSAGE_BYTES = 100
+
+
+class FaultMode(Enum):
+    HONEST = "honest"
+    SILENT = "silent"
+    EQUIVOCATE = "equivocate"
+
+
+# -- wire messages -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ClientRequest:
+    update: Update
+
+
+@dataclass(frozen=True, slots=True)
+class PrePrepare:
+    """Leader's ordering proposal.
+
+    Carries only the digest: clients send the full update to every
+    replica directly (Figure 5a), so re-shipping the body would double
+    the large-update bandwidth floor -- the Figure 6 equation's
+    (u+c2)*n term counts the body crossing the network once per replica.
+    """
+
+    view: int
+    seq: int
+    digest: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class PrepareMsg:
+    view: int
+    seq: int
+    digest: bytes
+    sender: int
+
+
+@dataclass(frozen=True, slots=True)
+class CommitMsg:
+    view: int
+    seq: int
+    digest: bytes
+    sender: int
+
+
+@dataclass(frozen=True, slots=True)
+class SignShare:
+    """A replica's signature over the serialization result for one slot."""
+
+    seq: int
+    digest: bytes
+    sender: int
+    signature: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class PreparedReport:
+    """One slot the sender has *prepared* (quorum of prepares).
+
+    Carried in view-change messages so the new leader preserves the
+    numbering of any slot that could have executed anywhere -- PBFT's
+    safety rule across views.
+    """
+
+    seq: int
+    digest: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class ViewChangeMsg:
+    new_view: int
+    sender: int
+    prepared: tuple[PreparedReport, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class NewViewMsg:
+    new_view: int
+
+
+@dataclass(frozen=True, slots=True)
+class CommitCertificate:
+    """Proof that the primary tier serialized ``update`` at slot ``seq``.
+
+    Verifiable offline: check 2m+1 distinct valid signatures over
+    (seq, digest) against the ring's known replica keys.
+    """
+
+    seq: int
+    digest: bytes
+    update: Update
+    signatures: tuple[tuple[int, bytes], ...]
+
+    @staticmethod
+    def signed_payload(seq: int, digest: bytes) -> bytes:
+        return serialization.encode({"type": "pbft-result", "seq": seq, "digest": digest})
+
+    def verify(self, ring: "InnerRing") -> bool:
+        if len({idx for idx, _ in self.signatures}) < ring.quorum:
+            return False
+        payload = self.signed_payload(self.seq, self.digest)
+        for idx, sig in self.signatures:
+            if not 0 <= idx < ring.n:
+                return False
+            if not ring.replicas[idx].principal.public_key.verify(payload, sig):
+                return False
+        return True
+
+
+def update_digest(update: Update) -> bytes:
+    return sha256(update.signed_bytes())
+
+
+#: Digest of the null request used to fill sequence gaps after a view
+#: change (PBFT's no-op padding, so in-order execution never deadlocks
+#: behind a slot nobody can complete).
+NOOP_DIGEST = sha256(b"pbft-noop-request")
+
+
+# -- replica -----------------------------------------------------------------
+
+
+@dataclass
+class _Instance:
+    """Per-(view, seq) agreement state.
+
+    ``early_prepares``/``early_commits`` buffer votes that arrive before
+    the pre-prepare fixes the slot's digest (message reordering across
+    partitions); they merge in once the digest is known.
+    """
+
+    digest: bytes | None = None
+    update: Update | None = None
+    prepares: set[int] = field(default_factory=set)
+    commits: set[int] = field(default_factory=set)
+    committed: bool = False
+    early_prepares: dict[bytes, set[int]] = field(default_factory=dict)
+    early_commits: dict[bytes, set[int]] = field(default_factory=dict)
+
+
+class PBFTReplica:
+    """One primary-tier replica."""
+
+    VIEW_TIMEOUT_MS = 3_000.0
+
+    def __init__(
+        self,
+        index: int,
+        network_id: NodeId,
+        principal: Principal,
+        ring: "InnerRing",
+    ) -> None:
+        self.index = index
+        self.network_id = network_id
+        self.principal = principal
+        self.ring = ring
+        self.fault_mode = FaultMode.HONEST
+        self.view = 0
+        self.next_seq = 0
+        self.instances: dict[tuple[int, int], _Instance] = {}
+        self.executed_updates: set[bytes] = set()
+        self.last_executed_seq = -1
+        self.execution_queue: dict[int, tuple[bytes, Update]] = {}
+        self.known_requests: dict[bytes, Update] = {}
+        self.known_by_digest: dict[bytes, Update] = {}
+        #: pre-prepares that arrived before their client request
+        self._deferred_pre_prepares: dict[bytes, PrePrepare] = {}
+        self.sign_shares: dict[int, dict[int, bytes]] = {}
+        self.certified_seqs: set[int] = set()
+        #: view -> {sender -> that sender's prepared-slot reports}
+        self.view_change_votes: dict[int, dict[int, tuple[PreparedReport, ...]]] = {}
+        self._pending_timeouts: dict[bytes, object] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self.ring.leader_index(self.view) == self.index
+
+    def _instance(self, view: int, seq: int) -> _Instance:
+        return self.instances.setdefault((view, seq), _Instance())
+
+    def _broadcast(self, payload: object, size: int) -> None:
+        if self.fault_mode is FaultMode.SILENT:
+            return
+        for other in self.ring.replicas:
+            if other.index == self.index:
+                continue
+            self.ring.network.send(self.network_id, other.network_id, payload, size)
+
+    # -- message handling ---------------------------------------------------------
+
+    def handle(self, message: Message) -> None:
+        if self.fault_mode is FaultMode.SILENT:
+            return
+        payload = message.payload
+        if isinstance(payload, ClientRequest):
+            self._on_request(payload.update)
+        elif isinstance(payload, PrePrepare):
+            self._on_pre_prepare(payload)
+        elif isinstance(payload, PrepareMsg):
+            self._on_prepare(payload)
+        elif isinstance(payload, CommitMsg):
+            self._on_commit(payload)
+        elif isinstance(payload, SignShare):
+            self._on_sign_share(payload)
+        elif isinstance(payload, ViewChangeMsg):
+            self._on_view_change(payload)
+        elif isinstance(payload, NewViewMsg):
+            self._on_new_view(payload)
+
+    # -- normal case ----------------------------------------------------------------
+
+    def _on_request(self, update: Update) -> None:
+        if update.update_id in self.executed_updates:
+            return
+        if not update.verify_signature():
+            return  # replicas drop unauthenticated requests
+        if self.ring.authorizer is not None and not self.ring.authorizer(update):
+            return  # write not allowed by the object's ACL (Section 4.2)
+        self.known_requests[update.update_id] = update
+        digest = update_digest(update)
+        self.known_by_digest[digest] = update
+        deferred = self._deferred_pre_prepares.pop(digest, None)
+        if self.is_leader:
+            if not self._already_in_flight(digest):
+                self._propose(update)
+        else:
+            self._arm_view_change_timer(update)
+            if deferred is not None:
+                self._on_pre_prepare(deferred)
+
+    def _already_in_flight(self, digest: bytes) -> bool:
+        """True if some slot already carries this request (client retry)."""
+        return any(
+            instance.digest == digest for instance in self.instances.values()
+        )
+
+    def _propose(self, update: Update) -> None:
+        seq = self.next_seq
+        self.next_seq += 1
+        self._propose_at(seq, update)
+
+    def _propose_at(self, seq: int, update: Update) -> None:
+        digest = update_digest(update)
+        instance = self._instance(self.view, seq)
+        instance.digest = digest
+        instance.update = update
+        instance.prepares.add(self.index)
+        instance.prepares |= instance.early_prepares.pop(digest, set())
+        instance.commits |= instance.early_commits.pop(digest, set())
+        self.known_by_digest[digest] = update
+        self._broadcast(
+            PrePrepare(self.view, seq, digest), size=SMALL_MESSAGE_BYTES
+        )
+        self._maybe_prepared(self.view, seq)
+
+    def _propose_noop_at(self, seq: int) -> None:
+        """Fill a sequence gap with a null request (view-change padding)."""
+        instance = self._instance(self.view, seq)
+        instance.digest = NOOP_DIGEST
+        instance.update = None
+        instance.prepares.add(self.index)
+        instance.prepares |= instance.early_prepares.pop(NOOP_DIGEST, set())
+        instance.commits |= instance.early_commits.pop(NOOP_DIGEST, set())
+        self._broadcast(
+            PrePrepare(self.view, seq, NOOP_DIGEST), size=SMALL_MESSAGE_BYTES
+        )
+        self._maybe_prepared(self.view, seq)
+
+    def _on_pre_prepare(self, msg: PrePrepare) -> None:
+        if msg.view != self.view:
+            return
+        if msg.digest == NOOP_DIGEST:
+            update = None
+        else:
+            update = self.known_by_digest.get(msg.digest)
+            if update is None:
+                # The client's copy of the request has not arrived yet;
+                # hold the proposal until it does.
+                self._deferred_pre_prepares[msg.digest] = msg
+                return
+        instance = self._instance(msg.view, msg.seq)
+        if instance.digest is not None and instance.digest != msg.digest:
+            return  # conflicting pre-prepare for the slot
+        instance.digest = msg.digest
+        instance.update = update
+        instance.prepares.add(self.ring.leader_index(msg.view))
+        instance.prepares.add(self.index)
+        instance.prepares |= instance.early_prepares.pop(msg.digest, set())
+        instance.commits |= instance.early_commits.pop(msg.digest, set())
+        digest = msg.digest
+        if self.fault_mode is FaultMode.EQUIVOCATE:
+            digest = sha256(b"equivocation" + msg.digest)
+        self._broadcast(
+            PrepareMsg(msg.view, msg.seq, digest, self.index),
+            size=SMALL_MESSAGE_BYTES,
+        )
+        self._maybe_prepared(msg.view, msg.seq)
+        self._maybe_committed(msg.view, msg.seq)
+
+    def _on_prepare(self, msg: PrepareMsg) -> None:
+        if msg.view != self.view:
+            return
+        instance = self._instance(msg.view, msg.seq)
+        if instance.digest is None:
+            # Pre-prepare not here yet (reordering); hold the vote.
+            instance.early_prepares.setdefault(msg.digest, set()).add(msg.sender)
+            return
+        if msg.digest != instance.digest:
+            return  # mismatched digest: ignore (equivocator)
+        instance.prepares.add(msg.sender)
+        self._maybe_prepared(msg.view, msg.seq)
+
+    def _maybe_prepared(self, view: int, seq: int) -> None:
+        instance = self._instance(view, seq)
+        if instance.digest is None or instance.committed:
+            return
+        if len(instance.prepares) >= self.ring.quorum and self.index not in instance.commits:
+            instance.commits.add(self.index)
+            digest = instance.digest
+            if self.fault_mode is FaultMode.EQUIVOCATE:
+                digest = sha256(b"equivocation" + digest)
+            self._broadcast(
+                CommitMsg(view, seq, digest, self.index), size=SMALL_MESSAGE_BYTES
+            )
+            self._maybe_committed(view, seq)
+
+    def _on_commit(self, msg: CommitMsg) -> None:
+        if msg.view != self.view:
+            return
+        instance = self._instance(msg.view, msg.seq)
+        if instance.digest is None:
+            instance.early_commits.setdefault(msg.digest, set()).add(msg.sender)
+            return
+        if msg.digest != instance.digest:
+            return
+        instance.commits.add(msg.sender)
+        self._maybe_committed(msg.view, msg.seq)
+
+    def _maybe_committed(self, view: int, seq: int) -> None:
+        instance = self._instance(view, seq)
+        if instance.committed or instance.digest is None:
+            return
+        if len(instance.commits) < self.ring.quorum:
+            return
+        if len(instance.prepares) < self.ring.quorum:
+            return
+        instance.committed = True
+        if instance.digest != NOOP_DIGEST:
+            assert instance.update is not None
+        self.execution_queue[seq] = (instance.digest, instance.update)
+        self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        while self.last_executed_seq + 1 in self.execution_queue:
+            seq = self.last_executed_seq + 1
+            digest, update = self.execution_queue.pop(seq)
+            self.last_executed_seq = seq
+            if update is None:
+                continue  # no-op gap filler from a view change
+            if update.update_id in self.executed_updates:
+                continue
+            self.executed_updates.add(update.update_id)
+            self._cancel_view_change_timer(update.update_id)
+            self.ring._replica_executed(self, seq, update)
+            share = SignShare(
+                seq=seq,
+                digest=digest,
+                sender=self.index,
+                signature=self.principal.sign(
+                    CommitCertificate.signed_payload(seq, digest)
+                ),
+            )
+            self.sign_shares.setdefault(seq, {})[self.index] = share.signature
+            self._broadcast(share, size=SMALL_MESSAGE_BYTES)
+            self._maybe_certified(seq, digest, update)
+
+    def _on_sign_share(self, msg: SignShare) -> None:
+        payload = CommitCertificate.signed_payload(msg.seq, msg.digest)
+        sender = self.ring.replicas[msg.sender] if 0 <= msg.sender < self.ring.n else None
+        if sender is None or not sender.principal.public_key.verify(payload, msg.signature):
+            return
+        self.sign_shares.setdefault(msg.seq, {})[msg.sender] = msg.signature
+        instance_key = next(
+            (
+                (v, s)
+                for (v, s), inst in self.instances.items()
+                if s == msg.seq and inst.committed and inst.digest == msg.digest
+            ),
+            None,
+        )
+        if instance_key is not None:
+            inst = self.instances[instance_key]
+            assert inst.update is not None
+            self._maybe_certified(msg.seq, msg.digest, inst.update)
+
+    def _maybe_certified(self, seq: int, digest: bytes, update: Update) -> None:
+        if seq in self.certified_seqs:
+            return
+        shares = self.sign_shares.get(seq, {})
+        if len(shares) >= self.ring.quorum:
+            self.certified_seqs.add(seq)
+            certificate = CommitCertificate(
+                seq=seq,
+                digest=digest,
+                update=update,
+                signatures=tuple(sorted(shares.items())),
+            )
+            self.ring._replica_certified(self, certificate)
+
+    # -- view change -------------------------------------------------------------------
+
+    def _arm_view_change_timer(self, update: Update) -> None:
+        update_id = update.update_id
+
+        def check() -> None:
+            self._pending_timeouts.pop(update_id, None)
+            if update_id in self.executed_updates:
+                return
+            self._send_view_change(self.view + 1)
+
+        handle = self.ring.kernel.call_after(self.VIEW_TIMEOUT_MS, check)
+        self._pending_timeouts[update_id] = handle
+
+    def _cancel_view_change_timer(self, update_id: bytes) -> None:
+        handle = self._pending_timeouts.pop(update_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _prepared_reports(self) -> tuple[PreparedReport, ...]:
+        """Slots this replica has prepared but not yet executed.
+
+        Any slot that could have *executed* anywhere was committed at a
+        quorum, hence prepared at a quorum, hence appears in at least one
+        honest replica's report within any view-change quorum -- so the
+        new leader preserving all reported slots preserves every
+        possibly-executed slot (PBFT's cross-view safety argument).
+        """
+        reports = {}
+        for (view, seq), instance in self.instances.items():
+            if seq <= self.last_executed_seq or instance.digest is None:
+                continue
+            if len(instance.prepares) >= self.ring.quorum:
+                existing = reports.get(seq)
+                if existing is None or view > existing[0]:
+                    reports[seq] = (view, instance.digest)
+        return tuple(
+            PreparedReport(seq=seq, digest=digest)
+            for seq, (_, digest) in sorted(reports.items())
+        )
+
+    def _send_view_change(self, new_view: int) -> None:
+        if new_view <= self.view:
+            return
+        votes = self.view_change_votes.setdefault(new_view, {})
+        if self.index in votes:
+            return
+        reports = self._prepared_reports()
+        votes[self.index] = reports
+        self._broadcast(
+            ViewChangeMsg(new_view, self.index, reports),
+            size=SMALL_MESSAGE_BYTES + 40 * len(reports),
+        )
+        self._maybe_enter_view(new_view)
+
+    def _on_view_change(self, msg: ViewChangeMsg) -> None:
+        if msg.new_view <= self.view:
+            return
+        votes = self.view_change_votes.setdefault(msg.new_view, {})
+        votes[msg.sender] = msg.prepared
+        # Joining the view change once f+1 others demand it (standard
+        # PBFT liveness rule) avoids waiting for our own timeout.
+        if len(votes) > self.ring.m and self.index not in votes:
+            self._send_view_change(msg.new_view)
+        self._maybe_enter_view(msg.new_view)
+
+    def _maybe_enter_view(self, new_view: int) -> None:
+        votes = self.view_change_votes.get(new_view, {})
+        if len(votes) < self.ring.quorum:
+            return
+        if self.ring.leader_index(new_view) != self.index:
+            return
+        if self.view >= new_view:
+            return
+        self.view = new_view
+        self._broadcast(NewViewMsg(new_view), size=SMALL_MESSAGE_BYTES)
+
+        # 1. Preserve every prepared slot reported by the quorum, at its
+        #    original sequence number.
+        preserved: dict[int, bytes] = {}
+        for reports in votes.values():
+            for report in reports:
+                if report.seq <= self.last_executed_seq:
+                    continue
+                # Prefer a digest whose update body we actually hold.
+                if (
+                    report.seq not in preserved
+                    or preserved[report.seq] not in self.known_by_digest
+                ):
+                    preserved[report.seq] = report.digest
+        proposed_digests: set[bytes] = set()
+        used_seqs: set[int] = set()
+        for seq in sorted(preserved):
+            update = self.known_by_digest.get(preserved[seq])
+            if update is None:
+                continue  # body unknown; the owning client will retry
+            self._propose_at(seq, update)
+            proposed_digests.add(preserved[seq])
+            used_seqs.add(seq)
+
+        # 2. Fill remaining gaps with known-but-unexecuted requests not
+        #    already covered by a preserved slot.
+        pending = sorted(
+            (
+                u
+                for u in self.known_requests.values()
+                if u.update_id not in self.executed_updates
+                and update_digest(u) not in proposed_digests
+            ),
+            key=lambda u: (u.timestamp, u.update_id),
+        )
+        seq = self.last_executed_seq + 1
+        for update in pending:
+            while seq in used_seqs:
+                seq += 1
+            self._propose_at(seq, update)
+            used_seqs.add(seq)
+            seq += 1
+
+        # 3. Pad any remaining holes below the highest proposed slot with
+        #    null requests so in-order execution cannot deadlock.
+        if used_seqs:
+            for gap in range(self.last_executed_seq + 1, max(used_seqs)):
+                if gap not in used_seqs:
+                    self._propose_noop_at(gap)
+                    used_seqs.add(gap)
+        self.next_seq = max(used_seqs, default=self.last_executed_seq) + 1
+
+    def _on_new_view(self, msg: NewViewMsg) -> None:
+        if msg.new_view > self.view:
+            self.view = msg.new_view
+
+
+# -- the ring ------------------------------------------------------------------
+
+
+class InnerRing:
+    """The primary tier: n = 3m + 1 replicas plus client-facing API.
+
+    "The primary tier thus consists of a small number of replicas located
+    in high-bandwidth, high-connectivity regions of the network."
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        replica_nodes: list[NodeId],
+        principals: list[Principal],
+        m: int,
+    ) -> None:
+        if len(replica_nodes) != 3 * m + 1:
+            raise ValueError(
+                f"PBFT needs n = 3m+1 replicas: m={m} needs {3 * m + 1}, "
+                f"got {len(replica_nodes)}"
+            )
+        if len(principals) != len(replica_nodes):
+            raise ValueError("one principal per replica required")
+        self.kernel = kernel
+        self.network = network
+        self.m = m
+        self.replicas = [
+            PBFTReplica(i, node, principal, self)
+            for i, (node, principal) in enumerate(zip(replica_nodes, principals))
+        ]
+        for replica in self.replicas:
+            network.register(replica.network_id, replica.handle)
+        #: optional ACL check every honest replica runs on client requests
+        self.authorizer: Callable[[Update], bool] | None = None
+        self._execute_callbacks: list[Callable[[PBFTReplica, int, Update], None]] = []
+        self._certificate_callbacks: list[Callable[[CommitCertificate], None]] = []
+        self._certified_seqs: set[int] = set()
+        self.committed_order: list[Update] = []
+        self._order_recorded: set[bytes] = set()
+
+    @property
+    def n(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def quorum(self) -> int:
+        """2m + 1: intersection quorum for n = 3m + 1."""
+        return 2 * self.m + 1
+
+    def leader_index(self, view: int) -> int:
+        return view % self.n
+
+    # -- client API ------------------------------------------------------------
+
+    def submit(self, client_node: NodeId, update: Update) -> None:
+        """Client sends the update directly to the primary tier
+        (Figure 5a): every replica receives the full request."""
+        for replica in self.replicas:
+            self.network.send(
+                client_node,
+                replica.network_id,
+                ClientRequest(update),
+                size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+            )
+
+    # -- callbacks ------------------------------------------------------------------
+
+    def on_execute(self, callback: Callable[[PBFTReplica, int, Update], None]) -> None:
+        """Fires once per replica per executed slot."""
+        self._execute_callbacks.append(callback)
+
+    def on_certificate(self, callback: Callable[[CommitCertificate], None]) -> None:
+        """Fires once per slot, when the first certificate assembles."""
+        self._certificate_callbacks.append(callback)
+
+    def _replica_executed(self, replica: PBFTReplica, seq: int, update: Update) -> None:
+        if update.update_id not in self._order_recorded:
+            self._order_recorded.add(update.update_id)
+            self.committed_order.append(update)
+        for cb in self._execute_callbacks:
+            cb(replica, seq, update)
+
+    def _replica_certified(
+        self, replica: PBFTReplica, certificate: CommitCertificate
+    ) -> None:
+        if certificate.seq in self._certified_seqs:
+            return
+        self._certified_seqs.add(certificate.seq)
+        for cb in self._certificate_callbacks:
+            cb(certificate)
+
+    # -- fault injection ------------------------------------------------------------
+
+    def set_fault(self, replica_index: int, mode: FaultMode) -> None:
+        self.replicas[replica_index].fault_mode = mode
+
+    def faulty_count(self) -> int:
+        return sum(1 for r in self.replicas if r.fault_mode is not FaultMode.HONEST)

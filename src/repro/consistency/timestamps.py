@@ -1,0 +1,57 @@
+"""Optimistic client timestamps and tentative ordering (Section 4.4.3).
+
+"To increase the chances that this tentative order will match the final
+ordering chosen by the primary replicas, clients optimistically timestamp
+their updates.  Secondary replicas order tentative updates in timestamp
+order, and the primary tier uses these same timestamps to guide its
+ordering decisions."
+
+Timestamps are (client clock ms, client GUID) pairs: the GUID breaks ties
+deterministically so every replica derives the same tentative order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.data.update import Update
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class OptimisticTimestamp:
+    """Totally ordered: clock value first, then a tie-breaker."""
+
+    clock_ms: float
+    tiebreak: bytes
+
+    @classmethod
+    def for_update(cls, update: Update) -> "OptimisticTimestamp":
+        return cls(clock_ms=update.timestamp, tiebreak=update.update_id)
+
+
+def tentative_order(updates: Iterable[Update]) -> list[Update]:
+    """The deterministic tentative serialization of a set of updates."""
+    return sorted(updates, key=OptimisticTimestamp.for_update)
+
+
+def order_agreement(tentative: list[Update], final: list[Update]) -> float:
+    """Fraction of update pairs ordered identically in both serializations.
+
+    1.0 means the tentative order matched the final commit order exactly;
+    this is the metric for the Figure 5 experiment (how well optimistic
+    timestamps predict the Byzantine tier's decisions).
+    """
+    common = [u.update_id for u in tentative if u.update_id in {f.update_id for f in final}]
+    final_rank = {u.update_id: i for i, u in enumerate(final)}
+    common = [uid for uid in common if uid in final_rank]
+    if len(common) < 2:
+        return 1.0
+    agreements = 0
+    total = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            total += 1
+            if final_rank[common[i]] < final_rank[common[j]]:
+                agreements += 1
+    return agreements / total

@@ -1,0 +1,213 @@
+"""The utility model's economics (Section 1.1).
+
+"We envision a cooperative utility model in which consumers pay a
+monthly fee in exchange for access to persistent storage ... Each user
+would pay their fee to one particular 'utility provider', although they
+could consume storage and bandwidth resources from many different
+providers; providers would buy and sell capacity among themselves to
+make up the difference.  Airports or small cafés could install servers
+on their premises to give customers better performance; in return they
+would get a small dividend for their participation in the global
+utility."
+
+Self-certifying GUIDs make this billable: "this scheme allows servers to
+verify an object's owner efficiently, which facilitates access checks
+and *resource accounting*" (Section 4.1).  This module meters per-owner
+storage and transfer against the servers that provided them, then
+settles a billing period: consumers owe their provider; providers settle
+net inter-provider flows; hosting servers earn dividends proportional to
+the resources they contributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.network import NodeId
+from repro.util.ids import GUID
+
+
+@dataclass(frozen=True, slots=True)
+class Tariff:
+    """Prices for one billing period."""
+
+    storage_per_byte: float = 1e-6
+    transfer_per_byte: float = 1e-7
+    monthly_fee: float = 10.0
+    #: fraction of resource revenue passed through to hosting servers
+    dividend_rate: float = 0.1
+
+
+@dataclass
+class _Usage:
+    stored_bytes: float = 0.0
+    transferred_bytes: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ConsumerStatement:
+    owner: GUID
+    provider: str
+    monthly_fee: float
+    storage_charge: float
+    transfer_charge: float
+
+    @property
+    def total(self) -> float:
+        return self.monthly_fee + self.storage_charge + self.transfer_charge
+
+
+@dataclass(frozen=True, slots=True)
+class ProviderStatement:
+    """Net position of one provider after inter-provider settlement."""
+
+    provider: str
+    revenue: float          # fees + usage from its own consumers
+    resources_supplied: float  # value of resources its servers provided
+    resources_consumed: float  # value its consumers used, wherever served
+
+    @property
+    def net_settlement(self) -> float:
+        """What the provider receives (+) or owes (-) in clearing."""
+        return self.resources_supplied - self.resources_consumed
+
+
+class UsageMeter:
+    """Meters resource consumption per (owner, serving server)."""
+
+    def __init__(self) -> None:
+        #: (owner GUID, server) -> usage
+        self._usage: dict[tuple[GUID, NodeId], _Usage] = {}
+
+    def record_storage(self, owner: GUID, server: NodeId, byte_duration: float) -> None:
+        """Charge ``byte_duration`` byte-periods of storage on ``server``."""
+        if byte_duration < 0:
+            raise ValueError("byte_duration must be non-negative")
+        self._usage.setdefault((owner, server), _Usage()).stored_bytes += byte_duration
+
+    def record_transfer(self, owner: GUID, server: NodeId, size_bytes: float) -> None:
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        self._usage.setdefault((owner, server), _Usage()).transferred_bytes += size_bytes
+
+    def usage_for_owner(self, owner: GUID) -> _Usage:
+        total = _Usage()
+        for (usage_owner, _server), usage in self._usage.items():
+            if usage_owner == owner:
+                total.stored_bytes += usage.stored_bytes
+                total.transferred_bytes += usage.transferred_bytes
+        return total
+
+    def usage_on_server(self, server: NodeId) -> _Usage:
+        total = _Usage()
+        for (_owner, usage_server), usage in self._usage.items():
+            if usage_server == server:
+                total.stored_bytes += usage.stored_bytes
+                total.transferred_bytes += usage.transferred_bytes
+        return total
+
+    def reset(self) -> None:
+        self._usage.clear()
+
+    @property
+    def entries(self) -> dict[tuple[GUID, NodeId], _Usage]:
+        return dict(self._usage)
+
+
+class UtilityLedger:
+    """Registrations plus billing-period settlement."""
+
+    def __init__(self, tariff: Tariff = Tariff()) -> None:
+        self.tariff = tariff
+        self.meter = UsageMeter()
+        self._consumer_provider: dict[GUID, str] = {}
+        self._server_provider: dict[NodeId, str] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register_consumer(self, owner: GUID, provider: str) -> None:
+        self._consumer_provider[owner] = provider
+
+    def register_server(self, server: NodeId, provider: str) -> None:
+        self._server_provider[server] = provider
+
+    def provider_of_consumer(self, owner: GUID) -> str:
+        try:
+            return self._consumer_provider[owner]
+        except KeyError:
+            raise KeyError(f"consumer {owner} not registered") from None
+
+    # -- settlement --------------------------------------------------------------
+
+    def _resource_value(self, usage: _Usage) -> float:
+        return (
+            usage.stored_bytes * self.tariff.storage_per_byte
+            + usage.transferred_bytes * self.tariff.transfer_per_byte
+        )
+
+    def consumer_statements(self) -> list[ConsumerStatement]:
+        statements = []
+        for owner, provider in sorted(
+            self._consumer_provider.items(), key=lambda kv: kv[0].value
+        ):
+            usage = self.meter.usage_for_owner(owner)
+            statements.append(
+                ConsumerStatement(
+                    owner=owner,
+                    provider=provider,
+                    monthly_fee=self.tariff.monthly_fee,
+                    storage_charge=usage.stored_bytes * self.tariff.storage_per_byte,
+                    transfer_charge=usage.transferred_bytes
+                    * self.tariff.transfer_per_byte,
+                )
+            )
+        return statements
+
+    def provider_statements(self) -> list[ProviderStatement]:
+        """Inter-provider clearing: supplied vs consumed resource value.
+
+        A provider whose servers served more than its consumers used is
+        a net seller of capacity (positive settlement).
+        """
+        providers = sorted(
+            set(self._consumer_provider.values()) | set(self._server_provider.values())
+        )
+        supplied = {p: 0.0 for p in providers}
+        consumed = {p: 0.0 for p in providers}
+        revenue = {p: 0.0 for p in providers}
+        for (owner, server), usage in self.meter.entries.items():
+            value = self._resource_value(usage)
+            server_provider = self._server_provider.get(server)
+            if server_provider is not None:
+                supplied[server_provider] += value
+            consumer_provider = self._consumer_provider.get(owner)
+            if consumer_provider is not None:
+                consumed[consumer_provider] += value
+                revenue[consumer_provider] += value
+        for owner, provider in self._consumer_provider.items():
+            revenue[provider] += self.tariff.monthly_fee
+        return [
+            ProviderStatement(
+                provider=p,
+                revenue=revenue[p],
+                resources_supplied=supplied[p],
+                resources_consumed=consumed[p],
+            )
+            for p in providers
+        ]
+
+    def server_dividends(self) -> dict[NodeId, float]:
+        """The café's cut: dividend_rate of the value each server provided."""
+        dividends: dict[NodeId, float] = {}
+        for (_owner, server), usage in self.meter.entries.items():
+            dividends[server] = dividends.get(server, 0.0) + (
+                self._resource_value(usage) * self.tariff.dividend_rate
+            )
+        return dividends
+
+    def close_period(self) -> tuple[list[ConsumerStatement], list[ProviderStatement]]:
+        """Settle and reset the meter for the next period."""
+        consumers = self.consumer_statements()
+        providers = self.provider_statements()
+        self.meter.reset()
+        return consumers, providers

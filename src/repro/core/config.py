@@ -1,0 +1,61 @@
+"""Deployment configuration for a simulated OceanStore."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.network import TopologyParams
+
+
+@dataclass
+class DeploymentConfig:
+    """Everything needed to stand up a reproducible deployment.
+
+    Defaults give a small-but-real system: a 4-replica Byzantine inner
+    ring (m=1), a couple of secondary replicas per object, salted
+    multi-root location, and rate-1/2 archival into 16 fragments -- the
+    paper's worked example (Section 4.5).
+    """
+
+    seed: int = 0
+    topology: TopologyParams = field(default_factory=TopologyParams)
+
+    #: Byzantine fault budget; the inner ring has 3m+1 replicas placed on
+    #: transit (well-connected) nodes.
+    byzantine_m: int = 1
+
+    #: secondary replicas created per object
+    secondaries_per_object: int = 4
+    dissemination_fanout: int = 4
+
+    #: data location
+    salts: int = 3
+    bloom_depth: int = 3
+    bloom_width: int = 4096
+    bloom_hashes: int = 4
+
+    #: deep archival storage
+    archival_k: int = 8
+    archival_n: int = 16
+    archive_every_commit: bool = True
+
+    #: introspection
+    replica_overload_requests: int = 20
+    replica_window_ms: float = 10_000.0
+
+    #: RSA modulus bits for server/client identities (small: simulation)
+    key_bits: int = 256
+
+    def __post_init__(self) -> None:
+        if self.byzantine_m < 1:
+            raise ValueError("byzantine_m must be >= 1")
+        if self.secondaries_per_object < 0:
+            raise ValueError("secondaries_per_object must be >= 0")
+        if not 1 <= self.archival_k < self.archival_n:
+            raise ValueError("need 1 <= archival_k < archival_n")
+        if self.salts < 1:
+            raise ValueError("salts must be >= 1")
+
+    @property
+    def ring_size(self) -> int:
+        return 3 * self.byzantine_m + 1

@@ -1,0 +1,584 @@
+"""The integrated OceanStore deployment (Figure 1 / Figure 5).
+
+:class:`OceanStoreSystem` wires every substrate together over one
+simulated wide-area network:
+
+* servers on a transit-stub topology, each with object storage, fragment
+  storage, and introspection (:mod:`repro.core.server`);
+* two-tier data location -- attenuated Bloom filters backed by a salted
+  Plaxton mesh (:mod:`repro.routing`);
+* a Byzantine-agreement inner ring on well-connected transit nodes, with
+  epidemic secondary tiers and dissemination trees per object
+  (:mod:`repro.consistency`);
+* erasure-coded archival generation "as a direct side-effect of the
+  commitment process" (Section 4.4.4) with repair sweeps
+  (:mod:`repro.archival`);
+* introspective replica management reacting to observed load
+  (:mod:`repro.introspect`).
+
+The class implements the :class:`repro.api.backend.Backend` protocol, so
+:class:`repro.api.OceanStoreHandle` and both facades run unchanged
+against the full distributed machinery.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.access.policy import AccessChecker
+from repro.api.callbacks import ApiEvent, CallbackRegistry, Notification
+from repro.api.backend import UnknownObject
+from repro.archival.fragments import encode_archival
+from repro.archival.placement import AdministrativeDomain, FragmentPlacer, PlacementError
+from repro.archival.reconstruction import FragmentFetcher
+from repro.archival.reed_solomon import ReedSolomonCode
+from repro.archival.repair import ArchiveIndex, RepairSweeper
+from repro.consistency.pbft import CommitCertificate, FaultMode, InnerRing
+from repro.consistency.secondary import SecondaryTier
+from repro.core.config import DeploymentConfig
+from repro.core.server import OceanStoreServer
+from repro.crypto.keys import make_principal
+from repro.data.objects import ArchivalReference
+from repro.data.update import DataObjectState, Update, UpdateOutcome
+from repro.introspect.confidence import ConfidenceEstimator
+from repro.introspect.events import Event
+from repro.introspect.replica_mgmt import DecisionKind, ReplicaManager
+from repro.routing.plaxton import PlaxtonMesh
+from repro.routing.probabilistic import ProbabilisticLocator
+from repro.routing.salt import SaltedRouter
+from repro.routing.service import LocationService
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network, NodeId, build_transit_stub_topology
+from repro.util import serialization
+from repro.util.ids import GUID
+from repro.util.rng import SeedSequence
+
+
+def serialize_state(state: DataObjectState) -> bytes:
+    """Canonical bytes of an object state, for archival encoding.
+
+    Archival forms freeze ciphertext; no keys are involved.
+    """
+    return serialization.encode(
+        {
+            "version": state.version,
+            "slots": list(state.data.slots),
+            "next_block_id": state.data.next_block_id,
+            "blocks": {
+                str(block_id): _block_to_value(block)
+                for block_id, block in state.data.blocks.items()
+            },
+            "search_cells": list(state.search_cells),
+        }
+    )
+
+
+def deserialize_state(data: bytes) -> DataObjectState:
+    """Inverse of :func:`serialize_state` (used by archive restore)."""
+    from repro.data.blocks import CipherObject, DataBlock, IndexBlock
+
+    decoded = serialization.decode(data)
+    blocks = {}
+    for key, value in decoded["blocks"].items():
+        kind, payload = value
+        if kind == "data":
+            blocks[int(key)] = DataBlock(ciphertext=payload)
+        else:
+            blocks[int(key)] = IndexBlock(children=tuple(payload))
+    state = DataObjectState()
+    state.version = decoded["version"]
+    state.data = CipherObject(
+        blocks=blocks,
+        slots=list(decoded["slots"]),
+        next_block_id=decoded["next_block_id"],
+    )
+    state.search_cells = list(decoded["search_cells"])
+    return state
+
+
+def _block_to_value(block) -> tuple:
+    from repro.data.blocks import DataBlock
+
+    if isinstance(block, DataBlock):
+        return ("data", block.ciphertext)
+    return ("index", list(block.children))
+
+
+class OceanStoreSystem:
+    """A full simulated deployment; implements the API backend protocol."""
+
+    def __init__(self, config: DeploymentConfig | None = None) -> None:
+        self.config = config or DeploymentConfig()
+        seeds = SeedSequence(self.config.seed)
+        self.kernel = Kernel()
+        self.graph = build_transit_stub_topology(
+            self.config.topology, seeds.derive("topology")
+        )
+        self.network = Network(self.kernel, self.graph)
+        self.injector = FailureInjector(self.kernel, self.network, seeds.derive("failures"))
+        self._rng = seeds.derive("system")
+
+        # -- servers -------------------------------------------------------
+        identity_rng = seeds.derive("identities")
+        self.servers: dict[NodeId, OceanStoreServer] = {}
+        for node in sorted(self.network.nodes()):
+            principal = make_principal(
+                f"server-{node}", identity_rng, bits=self.config.key_bits
+            )
+            self.servers[node] = OceanStoreServer(network_id=node, principal=principal)
+
+        # -- data location ---------------------------------------------------
+        self.mesh = PlaxtonMesh(self.network, seeds.derive("mesh"))
+        self.mesh.populate(sorted(self.network.nodes()))
+        self.probabilistic = ProbabilisticLocator(
+            self.network,
+            depth=self.config.bloom_depth,
+            width=self.config.bloom_width,
+            hashes=self.config.bloom_hashes,
+        )
+        self.router = SaltedRouter(self.mesh, salts=self.config.salts)
+        self.location = LocationService(self.probabilistic, self.router)
+
+        # -- consistency ---------------------------------------------------------
+        transit_nodes = [
+            n for n, d in self.graph.nodes(data=True) if d["kind"] == "transit"
+        ]
+        if len(transit_nodes) < self.config.ring_size:
+            raise ValueError(
+                f"topology has {len(transit_nodes)} transit nodes; the inner "
+                f"ring needs {self.config.ring_size}"
+            )
+        self.ring_nodes = sorted(transit_nodes)[: self.config.ring_size]
+        self.ring = InnerRing(
+            self.kernel,
+            self.network,
+            self.ring_nodes,
+            [self.servers[n].principal for n in self.ring_nodes],
+            m=self.config.byzantine_m,
+        )
+        self.ring.authorizer = self._authorize
+        self.ring.on_execute(self._on_execute)
+        self.ring.on_certificate(self._on_certificate)
+
+        self.tiers: dict[GUID, SecondaryTier] = {}
+        self._outcomes: dict[bytes, UpdateOutcome] = {}
+        self._cert_buffer: dict[int, CommitCertificate] = {}
+        self._next_cert_seq = 0
+        self._object_seq: dict[GUID, int] = {}
+
+        # -- access control -----------------------------------------------------
+        self.access = AccessChecker()
+
+        # -- archival ---------------------------------------------------------------
+        self.archival_code = ReedSolomonCode(
+            k=self.config.archival_k, n=self.config.archival_n
+        )
+        self.archive_index = ArchiveIndex()
+        self.sweeper = RepairSweeper(
+            self.network,
+            {node: server.fragments for node, server in self.servers.items()},
+            self.archive_index,
+        )
+        self.fetcher = FragmentFetcher(
+            self.kernel,
+            self.network,
+            {node: server.fragments for node, server in self.servers.items()},
+            seeds.derive("fetch"),
+        )
+        self.placer = FragmentPlacer(self._administrative_domains())
+        #: archival GUID bookkeeping per (object, version)
+        self._archival_refs: dict[tuple[GUID, int], ArchivalReference] = {}
+        self._archival_roots: dict[GUID, bytes] = {}
+
+        # -- introspection ---------------------------------------------------------
+        self.replica_manager = ReplicaManager(
+            window_ms=self.config.replica_window_ms,
+            overload_requests=self.config.replica_overload_requests,
+            pick_nearby=self._closest_non_replica,
+        )
+        #: "continuous confidence estimation on its own optimizations"
+        #: (Section 4.7.2): replica creations are gated and scored.
+        self.confidence = ConfidenceEstimator()
+        self._callbacks = CallbackRegistry()
+
+        # -- utility-model accounting (Section 1.1) -------------------------
+        from repro.core.accounting import UtilityLedger
+
+        self.ledger = UtilityLedger()
+        #: object GUID -> owning principal's GUID, for resource accounting
+        #: ("facilitates access checks and resource accounting", §4.1)
+        self.object_owners: dict[GUID, GUID] = {}
+
+    # ------------------------------------------------------------------
+    # Backend protocol
+    # ------------------------------------------------------------------
+
+    def create_object(self, object_guid: GUID) -> None:
+        if object_guid in self.tiers:
+            return
+        for node in self.ring_nodes:
+            self.servers[node].get_or_create_object(object_guid)
+            self.location.add_replica(node, object_guid)
+        tier = SecondaryTier(
+            self.network,
+            object_guid,
+            root_contact=self.ring_nodes[0],
+            rng=self._rng,
+            max_fanout=self.config.dissemination_fanout,
+        )
+        self.tiers[object_guid] = tier
+        candidates = [
+            n for n in sorted(self.network.nodes()) if n not in self.ring_nodes
+        ]
+        chosen = self._rng.sample(
+            candidates, min(self.config.secondaries_per_object, len(candidates))
+        )
+        for node in chosen:
+            tier.add_replica(node)
+            self.location.add_replica(node, object_guid)
+            self.replica_manager.register_replica(object_guid, node)
+        self._object_seq[object_guid] = 0
+        self.probabilistic.converge()
+
+    def read_state(
+        self,
+        object_guid: GUID,
+        allow_tentative: bool,
+        min_version: int,
+        client_node: NodeId | None = None,
+    ) -> DataObjectState:
+        if object_guid not in self.tiers:
+            raise UnknownObject(f"no such object: {object_guid}")
+        client = client_node if client_node is not None else self.ring_nodes[0]
+        result = self.location.locate(client, object_guid)
+        state = None
+        if result.found and result.replica_node is not None:
+            state = self._state_at(object_guid, result.replica_node, allow_tentative)
+            if state is not None:
+                self._record_read(object_guid, result.replica_node, client)
+        if state is None or state.version < min_version:
+            # Fall back to the authoritative primary tier, trying ring
+            # replicas in order (some may be crashed or faulty).
+            for primary in self.ring_nodes:
+                fallback = self._state_at(object_guid, primary, allow_tentative=False)
+                if fallback is None:
+                    continue
+                self._record_read(object_guid, primary, client)
+                if state is None or fallback.version > state.version:
+                    state = fallback
+                if state.version >= min_version:
+                    break
+        if state is None:
+            raise UnknownObject(f"no replica holds object {object_guid}")
+        if state.version < min_version:
+            raise UnknownObject(
+                f"object {object_guid} not yet at version {min_version}"
+            )
+        return state.copy()
+
+    def submit_update(self, client_node: NodeId, update: Update) -> None:
+        """The Figure 5 path: direct to the primary tier, plus tentative
+        spread through random secondary replicas."""
+        if update.object_guid not in self.tiers:
+            raise UnknownObject(f"no such object: {update.object_guid}")
+        self.ring.submit(client_node, update)
+        self.tiers[update.object_guid].submit_tentative(client_node, update)
+
+    def read_version(self, object_guid: GUID, version: int) -> DataObjectState:
+        """A permanent read-only version: from the primary's version log
+        if retained, else reconstructed from archival fragments."""
+        from repro.data.version_log import VersionNotFound
+
+        primary = self.servers[self.ring_nodes[0]].objects.get(object_guid)
+        if primary is not None:
+            try:
+                return primary.log.version(version).state.copy()
+            except VersionNotFound:
+                pass
+        return self.restore_from_archive(object_guid, version)
+
+    def callbacks(self) -> CallbackRegistry:
+        return self._callbacks
+
+    def settle(self, window_ms: float = 30_000.0) -> None:
+        """Run the simulation until in-flight protocol work completes."""
+        self.kernel.run(until=self.kernel.now + window_ms)
+
+    # ------------------------------------------------------------------
+    # Internal update-path plumbing
+    # ------------------------------------------------------------------
+
+    def _authorize(self, update: Update) -> bool:
+        """Honest servers verify writes against the ACL (Section 4.2).
+
+        Objects without an installed policy accept any correctly signed
+        write (the simulation default).
+        """
+        if not self.access.has_policy(update.object_guid):
+            return True
+        result = self.access.check_write(
+            update.object_guid,
+            update.client_key,
+            update.signed_bytes(),
+            update.signature,
+        )
+        return result.allowed
+
+    def _on_execute(self, replica, seq: int, update: Update) -> None:
+        server = self.servers[replica.network_id]
+        obj = server.get_or_create_object(update.object_guid)
+        outcome = obj.apply_update(update)
+        # Honest replicas compute identical outcomes; record the first.
+        self._outcomes.setdefault(update.update_id, outcome)
+
+    def _on_certificate(self, certificate: CommitCertificate) -> None:
+        """Serialized commits processed in global sequence order."""
+        self._cert_buffer[certificate.seq] = certificate
+        while self._next_cert_seq in self._cert_buffer:
+            cert = self._cert_buffer.pop(self._next_cert_seq)
+            self._next_cert_seq += 1
+            self._deliver_commit(cert)
+
+    def _deliver_commit(self, certificate: CommitCertificate) -> None:
+        update = certificate.update
+        guid = update.object_guid
+        outcome = self._outcomes.get(update.update_id)
+        tier = self.tiers.get(guid)
+        if tier is not None:
+            object_seq = self._object_seq[guid]
+            self._object_seq[guid] = object_seq + 1
+            tier.push_committed(object_seq, update)
+        committed = outcome is not None and outcome.committed
+        self._callbacks.notify(
+            Notification(
+                event=ApiEvent.UPDATE_COMMITTED if committed else ApiEvent.UPDATE_ABORTED,
+                object_guid=guid,
+                update_id=update.update_id,
+                version=outcome.new_version if outcome else None,
+            )
+        )
+        if committed:
+            assert outcome is not None
+            self._callbacks.notify(
+                Notification(
+                    event=ApiEvent.NEW_VERSION,
+                    object_guid=guid,
+                    version=outcome.new_version,
+                )
+            )
+            if self.config.archive_every_commit:
+                self.archive_object(guid)
+
+    def _state_at(
+        self, object_guid: GUID, node: NodeId, allow_tentative: bool
+    ) -> DataObjectState | None:
+        if self.network.is_down(node):
+            return None
+        if node in self.ring_nodes:
+            replica = self.ring.replicas[self.ring_nodes.index(node)]
+            if replica.fault_mode is FaultMode.SILENT:
+                return None  # a crashed server answers nothing
+            obj = self.servers[node].objects.get(object_guid)
+            return obj.active if obj is not None else None
+        tier = self.tiers.get(object_guid)
+        if tier is not None and node in tier.replicas:
+            replica = tier.replicas[node]
+            if allow_tentative:
+                return replica.tentative_state()
+            return replica.committed_state
+        return None
+
+    def assign_owner(self, object_guid: GUID, owner_guid: GUID) -> None:
+        """Record who pays for this object's resource consumption."""
+        self.object_owners[object_guid] = owner_guid
+
+    def _record_read(self, object_guid: GUID, replica_node: NodeId, client: NodeId) -> None:
+        self.replica_manager.record_request(
+            object_guid, replica_node, client, now_ms=self.kernel.now
+        )
+        owner = self.object_owners.get(object_guid)
+        if owner is not None:
+            state = self._state_at(object_guid, replica_node, allow_tentative=True)
+            if state is not None:
+                self.ledger.meter.record_transfer(
+                    owner, replica_node, state.size_bytes
+                )
+        server = self.servers.get(replica_node)
+        if server is not None:
+            server.introspection.observe(
+                Event(
+                    kind="access",
+                    node=replica_node,
+                    time_ms=self.kernel.now,
+                    subject=object_guid,
+                )
+            )
+
+    def _closest_non_replica(self, client: NodeId) -> NodeId:
+        """Placement hook for new replicas: nearest node to the load."""
+        return min(
+            (n for n in self.network.nodes() if not self.network.is_down(n)),
+            key=lambda n: (self.network.latency_ms(client, n), n),
+        )
+
+    # ------------------------------------------------------------------
+    # Archival
+    # ------------------------------------------------------------------
+
+    def _administrative_domains(self) -> list[AdministrativeDomain]:
+        """Failure-correlation groups for fragment dispersal (Section 4.5).
+
+        Each stub cluster is one domain (a site that fails together); the
+        transit core -- "high-bandwidth, high-connectivity" -- forms a
+        more reliable domain of its own.
+        """
+        transit = sorted(
+            n for n, d in self.graph.nodes(data=True) if d["kind"] == "transit"
+        )
+        domains = [
+            AdministrativeDomain("transit-core", transit, reliability=0.98)
+        ]
+        # Stub nodes were generated contiguously per cluster; group by the
+        # cluster they attach to via graph structure (connected stub
+        # components once transit nodes are removed).
+        stub_graph = self.graph.subgraph(
+            n for n, d in self.graph.nodes(data=True) if d["kind"] == "stub"
+        )
+        for i, component in enumerate(sorted(nx.connected_components(stub_graph), key=min)):
+            domains.append(
+                AdministrativeDomain(
+                    f"stub-{i}", sorted(component), reliability=0.9
+                )
+            )
+        return domains
+
+    def archive_object(self, object_guid: GUID) -> ArchivalReference | None:
+        """Erasure-code the current committed version and disseminate
+        across administrative domains.
+
+        "the inner tier of servers ... generate encoded, archival
+        fragments and distribute them widely" (Section 4.4.4); dispersal
+        avoids concentrating fragments in one failure domain
+        (Section 4.5).
+        """
+        primary = self.servers[self.ring_nodes[0]].objects.get(object_guid)
+        if primary is None:
+            return None
+        version = primary.version
+        key = (object_guid, version)
+        if key in self._archival_refs:
+            return self._archival_refs[key]
+        data = serialize_state(primary.active)
+        archival = encode_archival(data, self.archival_code)
+        owner = self.object_owners.get(object_guid)
+        try:
+            plan = self.placer.plan(len(archival.fragments))
+            for fragment in archival.fragments:
+                target = plan.assignments[fragment.index]
+                self.servers[target].fragments.put(fragment)
+                if owner is not None:
+                    self.ledger.meter.record_storage(
+                        owner, target, float(len(fragment.payload))
+                    )
+        except PlacementError:
+            # Degenerate deployments (fewer servers than fragments):
+            # fall back to round-robin over live nodes.
+            nodes = [
+                n for n in sorted(self.network.nodes())
+                if not self.network.is_down(n)
+            ]
+            for i, fragment in enumerate(archival.fragments):
+                self.servers[nodes[i % len(nodes)]].fragments.put(fragment)
+        self.archive_index.register(archival, self.archival_code)
+        reference = ArchivalReference(
+            version=version,
+            archival_guid=archival.archival_guid,
+            fragment_count=archival.n,
+        )
+        self._archival_refs[key] = reference
+        self._archival_roots[archival.archival_guid] = archival.fragments[0].merkle_root
+        primary.record_archival(reference)
+        return reference
+
+    def restore_from_archive(
+        self, object_guid: GUID, version: int, client_node: NodeId | None = None
+    ) -> DataObjectState:
+        """Rebuild a version purely from archival fragments."""
+        reference = self._archival_refs.get((object_guid, version))
+        if reference is None:
+            raise UnknownObject(
+                f"version {version} of {object_guid} was never archived"
+            )
+        client = client_node if client_node is not None else self.ring_nodes[0]
+        result = self.fetcher.fetch(
+            client,
+            reference.archival_guid.to_bytes(),
+            self.archival_code,
+            self._archival_roots[reference.archival_guid],
+            extra=2,
+        )
+        if not result.success or result.data is None:
+            raise UnknownObject(
+                f"could not reconstruct {object_guid} v{version} from fragments"
+            )
+        return deserialize_state(result.data)
+
+    # ------------------------------------------------------------------
+    # Introspection-driven optimization
+    # ------------------------------------------------------------------
+
+    def run_replica_management(self) -> list:
+        """Evaluate load and act on create/eliminate decisions.
+
+        Creations run (and their catch-up anti-entropy settles) before
+        eliminations, so a fresh replica never loses its sync partner to
+        a simultaneous disuse decision.
+        """
+        decisions = self.replica_manager.evaluate(self.kernel.now)
+        creates = [d for d in decisions if d.kind is DecisionKind.CREATE]
+        eliminates = [d for d in decisions if d.kind is DecisionKind.ELIMINATE]
+        for decision in creates:
+            tier = self.tiers.get(decision.object_guid)
+            if tier is None:
+                continue
+            target = decision.target_node
+            if target is None or target in tier.replicas or target in self.ring_nodes:
+                continue
+            if not self.confidence.should_act("replica-create"):
+                continue  # past creations were harmful; hold off
+            # Score the placement: how far did the hot spot have to reach
+            # before, vs after the new replica exists.
+            metric_before = self.network.latency_ms(target, decision.replica_node)
+            action = self.confidence.begin_action("replica-create", metric_before)
+            replica = tier.add_replica(target)
+            self.location.add_replica(target, decision.object_guid)
+            self.replica_manager.register_replica(decision.object_guid, target)
+            partners = [n for n in tier.replicas if n != target]
+            if partners:
+                replica.start_anti_entropy(partners[0])
+            self.confidence.complete_action(
+                action, self.network.latency_ms(target, target)
+            )
+        # Let freshly created replicas finish their catch-up exchanges
+        # before their partners can be eliminated or reads arrive.
+        self.settle(10_000.0)
+        for decision in eliminates:
+            tier = self.tiers.get(decision.object_guid)
+            if tier is None or decision.replica_node not in tier.replicas:
+                continue
+            if len(tier.replicas) <= 1:
+                continue
+            tier.remove_replica(decision.replica_node)
+            self.location.remove_replica(decision.replica_node, decision.object_guid)
+            self.replica_manager.forget_replica(
+                decision.object_guid, decision.replica_node
+            )
+        self.probabilistic.converge()
+        return decisions
+
+    def run_epidemic_rounds(self, rounds: int = 2) -> None:
+        for _ in range(rounds):
+            for tier in self.tiers.values():
+                tier.epidemic_round()
+            self.settle(5_000.0)

@@ -1,0 +1,105 @@
+"""Binary Merkle trees for self-verifying archival fragments.
+
+Section 4.5: "we use a hierarchical hashing method to verify each
+fragment.  We generate a hash over each fragment, and recursively hash
+over the concatenation of pairs of hashes to form a binary tree.  Each
+fragment is stored along with the hashes neighboring its path to the root
+... the top-most hash [serves] as the GUID to the immutable archival
+object, making every fragment in the archive completely self-verifying."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return sha256(_LEAF_PREFIX + data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return sha256(_NODE_PREFIX + left + right)
+
+
+@dataclass(frozen=True, slots=True)
+class MerkleProof:
+    """Sibling hashes along one leaf's path to the root.
+
+    ``path`` lists (sibling_hash, sibling_is_right) pairs from the leaf
+    upward.  Stored alongside each archival fragment so that any machine
+    can verify it against the archival GUID with no other context.
+    """
+
+    leaf_index: int
+    path: tuple[tuple[bytes, bool], ...]
+
+    def size_bytes(self) -> int:
+        """Wire size of the proof (for fragment overhead accounting)."""
+        return 8 + sum(len(h) + 1 for h, _ in self.path)
+
+
+class MerkleTree:
+    """Merkle tree over a fixed list of leaf payloads.
+
+    Odd nodes at any level are promoted unchanged (Bitcoin-style
+    duplication would allow a malleability quirk; promotion does not).
+    """
+
+    def __init__(self, leaves: list[bytes]) -> None:
+        if not leaves:
+            raise ValueError("Merkle tree requires at least one leaf")
+        self._leaf_hashes = [_leaf_hash(leaf) for leaf in leaves]
+        self._levels: list[list[bytes]] = [self._leaf_hashes]
+        current = self._leaf_hashes
+        while len(current) > 1:
+            next_level = []
+            for i in range(0, len(current) - 1, 2):
+                next_level.append(_node_hash(current[i], current[i + 1]))
+            if len(current) % 2 == 1:
+                next_level.append(current[-1])
+            self._levels.append(next_level)
+            current = next_level
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaf_hashes)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Inclusion proof for leaf ``index``."""
+        if not 0 <= index < self.leaf_count:
+            raise IndexError(f"leaf index out of range: {index}")
+        path: list[tuple[bytes, bool]] = []
+        i = index
+        for level in self._levels[:-1]:
+            if i % 2 == 0:
+                sibling_index = i + 1
+                sibling_is_right = True
+            else:
+                sibling_index = i - 1
+                sibling_is_right = False
+            if sibling_index < len(level):
+                path.append((level[sibling_index], sibling_is_right))
+            # If there is no sibling (odd promotion), the node carries up
+            # unchanged and contributes nothing to the proof.
+            i //= 2
+        return MerkleProof(leaf_index=index, path=tuple(path))
+
+
+def verify_proof(leaf_data: bytes, proof: MerkleProof, root: bytes) -> bool:
+    """Check that ``leaf_data`` is the leaf the proof commits to under ``root``."""
+    current = _leaf_hash(leaf_data)
+    for sibling, sibling_is_right in proof.path:
+        if sibling_is_right:
+            current = _node_hash(current, sibling)
+        else:
+            current = _node_hash(sibling, current)
+    return current == root

@@ -1,0 +1,137 @@
+"""From-scratch RSA signatures.
+
+OceanStore requires that "all writes be signed so that well-behaved
+servers and clients can verify them against an access control list"
+(Section 4.2), that server GUIDs be hashes of public keys, and that the
+primary tier sign serialization results (Section 4.4.3).  No external
+crypto library is available offline, so we implement textbook RSA with
+Miller-Rabin key generation and full-domain-hash signing.
+
+Key sizes default to 512 bits: generation must be fast enough to mint
+hundreds of identities inside tests, and the experiments measure
+architecture behaviour, not cryptographic strength.  The implementation is
+real (keys actually sign and verify; forgeries fail), just short.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256
+
+_MILLER_RABIN_ROUNDS = 24
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+]
+
+
+def _is_probable_prime(n: int, rng: random.Random) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(_MILLER_RABIN_ROUNDS):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True, slots=True)
+class PublicKey:
+    n: int
+    e: int
+
+    def to_bytes(self) -> bytes:
+        n_bytes = self.n.to_bytes((self.n.bit_length() + 7) // 8, "big")
+        e_bytes = self.e.to_bytes((self.e.bit_length() + 7) // 8, "big")
+        return len(n_bytes).to_bytes(4, "big") + n_bytes + e_bytes
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        """Inverse of :meth:`to_bytes` (wire decoding of signer keys)."""
+        if len(data) < 6:
+            raise ValueError("truncated public key")
+        n_len = int.from_bytes(data[:4], "big")
+        if len(data) < 4 + n_len + 1:
+            raise ValueError("truncated public key modulus")
+        n = int.from_bytes(data[4 : 4 + n_len], "big")
+        e = int.from_bytes(data[4 + n_len :], "big")
+        if n <= 0 or e <= 0:
+            raise ValueError("degenerate public key")
+        return cls(n=n, e=e)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Check a full-domain-hash RSA signature.  Never raises on bad input."""
+        sig_int = int.from_bytes(signature, "big")
+        if not 0 < sig_int < self.n:
+            return False
+        recovered = pow(sig_int, self.e, self.n)
+        return recovered == _fdh(message, self.n)
+
+
+@dataclass(frozen=True, slots=True)
+class PrivateKey:
+    n: int
+    d: int
+    public: PublicKey
+
+    def sign(self, message: bytes) -> bytes:
+        digest_int = _fdh(message, self.n)
+        sig_int = pow(digest_int, self.d, self.n)
+        return sig_int.to_bytes((self.n.bit_length() + 7) // 8, "big")
+
+
+def _fdh(message: bytes, modulus: int) -> int:
+    """Full-domain hash: expand SHA-256 to just below the modulus width."""
+    target_bytes = (modulus.bit_length() - 1) // 8
+    material = b""
+    counter = 0
+    while len(material) < target_bytes:
+        material += sha256(message + counter.to_bytes(4, "big"))
+        counter += 1
+    return int.from_bytes(material[:target_bytes], "big")
+
+
+def generate_keypair(rng: random.Random, bits: int = 512) -> PrivateKey:
+    """Generate an RSA keypair deterministically from ``rng``."""
+    if bits < 128:
+        raise ValueError("modulus too small to be meaningful")
+    e = 65537
+    while True:
+        p = _random_prime(bits // 2, rng)
+        q = _random_prime(bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        public = PublicKey(n=n, e=e)
+        return PrivateKey(n=n, d=d, public=public)

@@ -1,0 +1,179 @@
+"""Search over ciphertext, after Song, Wagner & Perrig [47].
+
+Section 4.4.2: "Perhaps the most impressive of these predicates is search,
+which can be performed directly on ciphertext; this operation reveals only
+that a search was performed along with the boolean result.  The cleartext
+of the search string is not revealed, nor can the server initiate new
+searches on its own."
+
+The scheme (SWP's final variant, which supports decryption):
+
+* Words are padded to a fixed cell width and deterministically encrypted
+  with a keyed Feistel permutation: ``X = E(W)``, split as ``X = L || R``.
+* A per-word key is derived from the *left* part only:
+  ``k = PRF(trapdoor_key, L)``.
+* Cell ``i`` stores ``X XOR (S_i || F_k(S_i))`` where ``S_i`` is a
+  pseudo-random stream value for position ``i``.
+
+To search for ``W``, the client reveals the trapdoor ``(E(W), k)``.  The
+server XORs each cell with ``E(W)``; on a match the result is
+``S_i || F_k(S_i)``, which it can verify with ``k`` alone.  The server
+learns match positions but not the word, and cannot fabricate trapdoors.
+The key holder can decrypt: ``S_i`` recovers ``L``, ``L`` yields ``k``,
+``k`` unmasks ``R``, and the Feistel permutation inverts ``X`` to ``W``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import derive_key, hmac_sha256
+
+#: Width of an encrypted word cell in bytes (words are padded/truncated).
+WORD_BYTES = 24
+#: Width of the verifiable check part (the Feistel right half / PRF tag).
+CHECK_BYTES = 8
+#: Width of the stream part.
+LEFT_BYTES = WORD_BYTES - CHECK_BYTES
+
+_FEISTEL_ROUNDS = 4
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+class _FeistelPermutation:
+    """Keyed, invertible permutation on WORD_BYTES-byte blocks.
+
+    An unbalanced Feistel network: the block splits as (LEFT_BYTES,
+    CHECK_BYTES); each round mixes one half with a PRF of the other.
+    Four rounds of an unbalanced network keyed by independent round keys
+    give a deterministic PRP adequate for the simulation.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._round_keys = [
+            derive_key(key, f"feistel-round-{i}") for i in range(_FEISTEL_ROUNDS)
+        ]
+
+    def _round_fn(self, round_index: int, data: bytes, width: int) -> bytes:
+        return hmac_sha256(self._round_keys[round_index], data)[:width]
+
+    def forward(self, block: bytes) -> bytes:
+        if len(block) != WORD_BYTES:
+            raise ValueError("Feistel block must be WORD_BYTES long")
+        left, right = block[:LEFT_BYTES], block[LEFT_BYTES:]
+        for i in range(_FEISTEL_ROUNDS):
+            if i % 2 == 0:
+                right = _xor(right, self._round_fn(i, left, CHECK_BYTES))
+            else:
+                left = _xor(left, self._round_fn(i, right, LEFT_BYTES))
+        return left + right
+
+    def inverse(self, block: bytes) -> bytes:
+        if len(block) != WORD_BYTES:
+            raise ValueError("Feistel block must be WORD_BYTES long")
+        left, right = block[:LEFT_BYTES], block[LEFT_BYTES:]
+        for i in reversed(range(_FEISTEL_ROUNDS)):
+            if i % 2 == 0:
+                right = _xor(right, self._round_fn(i, left, CHECK_BYTES))
+            else:
+                left = _xor(left, self._round_fn(i, right, LEFT_BYTES))
+        return left + right
+
+
+@dataclass(frozen=True, slots=True)
+class SearchTrapdoor:
+    """What the client reveals to let servers test for one specific word."""
+
+    encrypted_word: bytes
+    word_key: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class SearchMatch:
+    position: int
+
+
+class SearchableCipher:
+    """Encrypts word streams so servers can test membership via trapdoors."""
+
+    def __init__(self, master_key: bytes) -> None:
+        if len(master_key) < 16:
+            raise ValueError("master key must be at least 16 bytes")
+        self._permutation = _FeistelPermutation(derive_key(master_key, "feistel"))
+        self._stream_key = derive_key(master_key, "stream")
+        self._trapdoor_key = derive_key(master_key, "trapdoor")
+
+    # -- internal pieces ---------------------------------------------------
+
+    def _pad(self, word: str) -> bytes:
+        raw = word.encode("utf-8")
+        if len(raw) > WORD_BYTES:
+            raise ValueError(f"word too long for cell: {word!r}")
+        return raw + b"\x00" * (WORD_BYTES - len(raw))
+
+    def _unpad(self, padded: bytes) -> str:
+        return padded.rstrip(b"\x00").decode("utf-8")
+
+    def _stream_value(self, position: int) -> bytes:
+        return hmac_sha256(self._stream_key, position.to_bytes(8, "big"))[:LEFT_BYTES]
+
+    def _word_key(self, encrypted_left: bytes) -> bytes:
+        return hmac_sha256(self._trapdoor_key, encrypted_left)
+
+    # -- client-side API ---------------------------------------------------
+
+    def encrypt_words(self, words: list[str], base_position: int = 0) -> list[bytes]:
+        """Encrypt a word stream into fixed-width searchable cells."""
+        cells = []
+        for offset, word in enumerate(words):
+            position = base_position + offset
+            x = self._permutation.forward(self._pad(word))
+            left, right = x[:LEFT_BYTES], x[LEFT_BYTES:]
+            s = self._stream_value(position)
+            k = self._word_key(left)
+            tag = hmac_sha256(k, s)[:CHECK_BYTES]
+            cells.append(_xor(left, s) + _xor(right, tag))
+        return cells
+
+    def decrypt_words(self, cells: list[bytes], base_position: int = 0) -> list[str]:
+        """Recover plaintext words (requires full key material)."""
+        words = []
+        for offset, cell in enumerate(cells):
+            if len(cell) != WORD_BYTES:
+                raise ValueError("malformed search cell")
+            position = base_position + offset
+            s = self._stream_value(position)
+            left = _xor(cell[:LEFT_BYTES], s)
+            k = self._word_key(left)
+            tag = hmac_sha256(k, s)[:CHECK_BYTES]
+            right = _xor(cell[LEFT_BYTES:], tag)
+            words.append(self._unpad(self._permutation.inverse(left + right)))
+        return words
+
+    def trapdoor(self, word: str) -> SearchTrapdoor:
+        """Build the search trapdoor for ``word``."""
+        x = self._permutation.forward(self._pad(word))
+        return SearchTrapdoor(
+            encrypted_word=x, word_key=self._word_key(x[:LEFT_BYTES])
+        )
+
+
+def server_search(cells: list[bytes], trapdoor: SearchTrapdoor) -> list[SearchMatch]:
+    """Server-side search using only the trapdoor (no keys).
+
+    XOR each cell with the candidate encrypted word; a true match leaves
+    ``S || F_k(S)``, verifiable with the trapdoor's word key.
+    """
+    matches = []
+    for position, cell in enumerate(cells):
+        if len(cell) != len(trapdoor.encrypted_word):
+            continue
+        pad = _xor(cell, trapdoor.encrypted_word)
+        s, tag = pad[:LEFT_BYTES], pad[LEFT_BYTES:]
+        expected = hmac_sha256(trapdoor.word_key, s)[:CHECK_BYTES]
+        if tag == expected:
+            matches.append(SearchMatch(position=position))
+    return matches

@@ -1,0 +1,100 @@
+"""Introspection: observation, analysis, optimization (Section 4.7).
+
+The cycle of Figure 7 -- computation observed by verified event handlers
+(:mod:`~repro.introspect.dsl`) summarizing into soft-state databases
+(:mod:`~repro.introspect.database`), aggregated up a hierarchy
+(:mod:`~repro.introspect.hierarchy`), driving optimization modules:
+cluster recognition (:mod:`~repro.introspect.clustering`), replica
+management (:mod:`~repro.introspect.replica_mgmt`), and prefetching
+(:mod:`~repro.introspect.prefetch`).
+"""
+
+from repro.introspect.clustering import (
+    Cluster,
+    SemanticDistanceGraph,
+    cluster_of,
+    detect_clusters,
+)
+from repro.introspect.confidence import ConfidenceEstimator
+from repro.introspect.database import SummaryDatabase, SummaryEntry
+from repro.introspect.dsl import (
+    Average,
+    BinOp,
+    BoolOp,
+    CompiledHandler,
+    Const,
+    Count,
+    Field,
+    Filter,
+    HandlerProgram,
+    MapTo,
+    Not,
+    Rate,
+    ResourceLimits,
+    Threshold,
+    VerificationError,
+    evaluate,
+    verify_program,
+)
+from repro.introspect.events import Event, EventBus
+from repro.introspect.hierarchy import IntrospectionNode, Summary, build_hierarchy
+from repro.introspect.migration import (
+    MigrationCycle,
+    MigrationDetector,
+    PrefetchPlan,
+    SiteAccess,
+    plan_prefetch,
+)
+from repro.introspect.prefetch import (
+    MarkovPrefetcher,
+    PrefetchStats,
+    evaluate_prefetcher,
+)
+from repro.introspect.replica_mgmt import (
+    DecisionKind,
+    ReplicaDecision,
+    ReplicaManager,
+)
+
+__all__ = [
+    "Average",
+    "BinOp",
+    "BoolOp",
+    "Cluster",
+    "CompiledHandler",
+    "ConfidenceEstimator",
+    "Const",
+    "Count",
+    "DecisionKind",
+    "Event",
+    "EventBus",
+    "Field",
+    "Filter",
+    "HandlerProgram",
+    "IntrospectionNode",
+    "MapTo",
+    "MarkovPrefetcher",
+    "MigrationCycle",
+    "MigrationDetector",
+    "Not",
+    "PrefetchPlan",
+    "SiteAccess",
+    "plan_prefetch",
+    "PrefetchStats",
+    "Rate",
+    "ReplicaDecision",
+    "ReplicaManager",
+    "ResourceLimits",
+    "SemanticDistanceGraph",
+    "Summary",
+    "SummaryDatabase",
+    "SummaryEntry",
+    "Threshold",
+    "VerificationError",
+    "build_hierarchy",
+    "cluster_of",
+    "detect_clusters",
+    "evaluate",
+    "evaluate_prefetcher",
+    "verify_program",
+]

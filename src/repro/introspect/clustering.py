@@ -1,0 +1,112 @@
+"""Cluster recognition via semantic distance (Section 4.7.2).
+
+"Each client machine contains an event handler triggered by each data
+object access.  This handler incrementally constructs a graph
+representing the semantic distance [28] among data objects, which
+requires only a few operations per access.  Periodically, we run a
+clustering algorithm that consumes this graph and detects clusters of
+strongly-related objects. ... The result of the clustering algorithm is
+forwarded to a global analysis layer that publishes small objects
+describing established clusters."
+
+Semantic distance (after the Seer project) is approximated by access
+adjacency: objects referenced within a short window of one another are
+semantically close.  The per-access handler does O(window) work; the
+periodic clusterer thresholds edge weights and takes connected
+components.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.util.ids import GUID
+
+
+@dataclass
+class SemanticDistanceGraph:
+    """Incrementally built co-access graph.
+
+    ``window`` is the number of recent accesses considered adjacent;
+    each access adds weight 1/(distance in window) to edges between the
+    new object and each recent one -- a few operations per access.
+    """
+
+    window: int = 4
+    edges: dict[tuple[GUID, GUID], float] = field(default_factory=dict)
+    _recent: deque = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+    def record_access(self, obj: GUID) -> None:
+        for distance, prior in enumerate(reversed(self._recent), start=1):
+            if prior == obj:
+                continue
+            key = (min(obj, prior), max(obj, prior))
+            self.edges[key] = self.edges.get(key, 0.0) + 1.0 / distance
+        self._recent.append(obj)
+        while len(self._recent) > self.window:
+            self._recent.popleft()
+
+    def weight(self, a: GUID, b: GUID) -> float:
+        return self.edges.get((min(a, b), max(a, b)), 0.0)
+
+    def decay(self, factor: float = 0.5) -> None:
+        """Age out stale affinity (adapting "to the stability of the input")."""
+        if not 0 < factor <= 1:
+            raise ValueError("decay factor must be in (0, 1]")
+        self.edges = {k: w * factor for k, w in self.edges.items() if w * factor > 1e-6}
+
+
+@dataclass(frozen=True, slots=True)
+class Cluster:
+    """A published description of strongly-related objects."""
+
+    members: frozenset[GUID]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+def detect_clusters(
+    graph: SemanticDistanceGraph, min_weight: float = 1.0, min_size: int = 2
+) -> list[Cluster]:
+    """Threshold edges, take connected components, keep real clusters.
+
+    Deterministic: components are discovered in GUID order.
+    """
+    adjacency: dict[GUID, set[GUID]] = {}
+    for (a, b), weight in graph.edges.items():
+        if weight >= min_weight:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+    seen: set[GUID] = set()
+    clusters = []
+    for start in sorted(adjacency):
+        if start in seen:
+            continue
+        component = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency.get(node, ()):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    stack.append(neighbor)
+        seen |= component
+        if len(component) >= min_size:
+            clusters.append(Cluster(members=frozenset(component)))
+    return clusters
+
+
+def cluster_of(clusters: list[Cluster], obj: GUID) -> Cluster | None:
+    """The published cluster containing ``obj``, if any -- what remote
+    optimization modules use to collocate and prefetch related files."""
+    for cluster in clusters:
+        if obj in cluster.members:
+            return cluster
+    return None

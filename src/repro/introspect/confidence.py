@@ -1,0 +1,108 @@
+"""Confidence estimation for introspective optimizations (Section 4.7.2).
+
+"[OceanStore] performs continuous confidence estimation on its own
+optimizations in order to reduce harmful changes and feedback cycles."
+
+:class:`ConfidenceEstimator` scores each *kind* of optimization (replica
+creation, migration, prefetch, ...) by whether its past actions improved
+the metric they targeted.  Optimizers consult :meth:`should_act` before
+acting: a kind whose recent actions have been harmful is throttled until
+evidence recovers -- damping exactly the feedback cycles the paper warns
+about (e.g. replica creation reacting to load that the previous replica
+creation caused).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass
+class _PendingAction:
+    kind: str
+    metric_before: float
+
+
+@dataclass
+class _KindStats:
+    #: exponentially weighted success estimate, optimistic start
+    confidence: float = 0.7
+    actions: int = 0
+    improvements: int = 0
+
+
+class ConfidenceEstimator:
+    """EWMA success tracking per optimization kind.
+
+    Metrics are "lower is better" (latency, load imbalance); an action
+    *improves* if the after-metric is below the before-metric by at
+    least ``min_improvement`` (relative).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        act_threshold: float = 0.4,
+        min_improvement: float = 0.0,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0 <= act_threshold < 1:
+            raise ValueError(f"act_threshold must be in [0, 1), got {act_threshold}")
+        self.alpha = alpha
+        self.act_threshold = act_threshold
+        self.min_improvement = min_improvement
+        self._kinds: dict[str, _KindStats] = {}
+        self._pending: dict[int, _PendingAction] = {}
+        self._ids = itertools.count(1)
+
+    # -- recording -----------------------------------------------------------
+
+    def begin_action(self, kind: str, metric_before: float) -> int:
+        """Register an optimization about to run; returns an action id."""
+        action_id = next(self._ids)
+        self._pending[action_id] = _PendingAction(kind, metric_before)
+        return action_id
+
+    def complete_action(self, action_id: int, metric_after: float) -> bool:
+        """Record the post-action metric; returns whether it improved."""
+        pending = self._pending.pop(action_id, None)
+        if pending is None:
+            raise KeyError(f"unknown or already-completed action {action_id}")
+        stats = self._kinds.setdefault(pending.kind, _KindStats())
+        baseline = pending.metric_before * (1.0 - self.min_improvement)
+        improved = metric_after < baseline or (
+            pending.metric_before == 0 and metric_after <= 0
+        )
+        stats.actions += 1
+        if improved:
+            stats.improvements += 1
+        stats.confidence = (
+            (1 - self.alpha) * stats.confidence + self.alpha * (1.0 if improved else 0.0)
+        )
+        return improved
+
+    def abandon_action(self, action_id: int) -> None:
+        """The action never ran (no outcome to score)."""
+        self._pending.pop(action_id, None)
+
+    # -- queries ----------------------------------------------------------------
+
+    def confidence(self, kind: str) -> float:
+        stats = self._kinds.get(kind)
+        return stats.confidence if stats is not None else 0.7
+
+    def should_act(self, kind: str) -> bool:
+        """Gate for optimizers: act only while confidence holds up."""
+        return self.confidence(kind) >= self.act_threshold
+
+    def report(self) -> dict[str, dict[str, float]]:
+        return {
+            kind: {
+                "confidence": stats.confidence,
+                "actions": stats.actions,
+                "improvements": stats.improvements,
+            }
+            for kind, stats in sorted(self._kinds.items())
+        }

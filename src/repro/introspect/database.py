@@ -1,0 +1,68 @@
+"""The local summary database (Section 4.7.1, Figure 8).
+
+"A level of fast event handlers summarizes local events.  These summaries
+are stored in a local database.  At the leaves of the hierarchy, this
+database may reside only in memory; we loosen durability restrictions for
+local observations in order to attain the necessary event rate."
+
+Summaries are (key -> value) with a recorded time and a TTL: soft state
+that expires unless refreshed, matching the paper's durability trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryEntry:
+    key: str
+    value: Any
+    recorded_ms: float
+    ttl_ms: float
+
+    def expired(self, now_ms: float) -> bool:
+        return now_ms > self.recorded_ms + self.ttl_ms
+
+
+class SummaryDatabase:
+    """Soft-state key/value store for event summaries."""
+
+    DEFAULT_TTL_MS = 60_000.0
+
+    def __init__(self) -> None:
+        self._entries: dict[str, SummaryEntry] = {}
+
+    def put(self, key: str, value: Any, now_ms: float, ttl_ms: float | None = None) -> None:
+        self._entries[key] = SummaryEntry(
+            key=key,
+            value=value,
+            recorded_ms=now_ms,
+            ttl_ms=self.DEFAULT_TTL_MS if ttl_ms is None else ttl_ms,
+        )
+
+    def get(self, key: str, now_ms: float) -> Any:
+        entry = self._entries.get(key)
+        if entry is None or entry.expired(now_ms):
+            return None
+        return entry.value
+
+    def items(self, now_ms: float) -> Iterator[tuple[str, Any]]:
+        """Live entries only; expired ones are garbage-collected lazily."""
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if entry.expired(now_ms):
+                del self._entries[key]
+            else:
+                yield key, entry.value
+
+    def sweep(self, now_ms: float) -> int:
+        """Eagerly drop expired entries; returns how many were dropped."""
+        expired = [k for k, e in self._entries.items() if e.expired(now_ms)]
+        for key in expired:
+            del self._entries[key]
+        return len(expired)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,260 @@
+"""The event-handler language (Section 4.7.1).
+
+"We describe all event handlers in a simple domain-specific language.
+This language includes primitives for operations like averaging and
+filtering, but explicitly prohibits loops.  We expect this model to
+provide sufficient power, flexibility, and extensibility, while enabling
+the verification of security and resource consumption restrictions placed
+on event handlers."
+
+The language has two layers:
+
+* **expressions** over a single event: field access, constants,
+  arithmetic, comparisons, boolean connectives.  The AST has no loop or
+  call node, so termination is structural; :func:`verify_program` bounds
+  size and depth (the resource restriction).
+* **stages** over the event stream: ``Filter``, ``MapTo``, ``Average``,
+  ``Count``, ``Rate``, ``Threshold``.  Each stage does O(1) work per
+  event with O(window) state.
+
+A :class:`HandlerProgram` compiles to a Python callable fed by the event
+bus; outputs land in the local summary database.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Union
+
+from repro.introspect.events import Event
+
+
+class VerificationError(ValueError):
+    """Program exceeds resource limits or is malformed."""
+
+
+# -- expression AST ----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp:
+    op: str  # +, -, *, /, ==, !=, <, <=, >, >=
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class BoolOp:
+    op: str  # and, or
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    operand: "Expr"
+
+
+Expr = Union[Field, Const, BinOp, BoolOp, Not]
+
+_BIN_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if b else 0.0,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def evaluate(expr: Expr, event: Event) -> Any:
+    """Evaluate an expression against one event.  Structurally terminating:
+    the AST is finite and has no loops or calls."""
+    if isinstance(expr, Field):
+        return event.get(expr.name)
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, BinOp):
+        fn = _BIN_OPS.get(expr.op)
+        if fn is None:
+            raise VerificationError(f"unknown operator {expr.op!r}")
+        try:
+            return fn(evaluate(expr.left, event), evaluate(expr.right, event))
+        except TypeError:
+            return None
+    if isinstance(expr, BoolOp):
+        left = bool(evaluate(expr.left, event))
+        if expr.op == "and":
+            return left and bool(evaluate(expr.right, event))
+        if expr.op == "or":
+            return left or bool(evaluate(expr.right, event))
+        raise VerificationError(f"unknown boolean operator {expr.op!r}")
+    if isinstance(expr, Not):
+        return not evaluate(expr.operand, event)
+    raise VerificationError(f"unknown expression node {type(expr).__name__}")
+
+
+def _expr_size(expr: Expr) -> int:
+    if isinstance(expr, (Field, Const)):
+        return 1
+    if isinstance(expr, (BinOp, BoolOp)):
+        return 1 + _expr_size(expr.left) + _expr_size(expr.right)
+    if isinstance(expr, Not):
+        return 1 + _expr_size(expr.operand)
+    raise VerificationError(f"unknown expression node {type(expr).__name__}")
+
+
+# -- stream stages -------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Filter:
+    """Pass only events where the predicate holds."""
+
+    predicate: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class MapTo:
+    """Project each event to a value (fed to downstream aggregation)."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Average:
+    """Sliding-window mean of the mapped value."""
+
+    window: int
+
+
+@dataclass(frozen=True, slots=True)
+class Count:
+    """Running count of events that reached this stage."""
+
+
+@dataclass(frozen=True, slots=True)
+class Rate:
+    """Events per millisecond over a sliding time window."""
+
+    window_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class Threshold:
+    """Emit only when the aggregated value crosses the bound."""
+
+    minimum: float
+
+
+Stage = Union[Filter, MapTo, Average, Count, Rate, Threshold]
+
+
+@dataclass
+class HandlerProgram:
+    """A named pipeline of stages writing to a summary key."""
+
+    name: str
+    stages: list[Stage] = field(default_factory=list)
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceLimits:
+    """The enforceable resource-consumption restrictions."""
+
+    max_stages: int = 8
+    max_expr_size: int = 32
+    max_window: int = 1024
+
+
+def verify_program(program: HandlerProgram, limits: ResourceLimits = ResourceLimits()) -> None:
+    """Static verification: bounded stages, bounded expressions, bounded
+    windows.  Loops are impossible by construction (no loop node exists);
+    this check bounds everything else a handler could cost."""
+    if not program.stages:
+        raise VerificationError("program has no stages")
+    if len(program.stages) > limits.max_stages:
+        raise VerificationError(
+            f"too many stages: {len(program.stages)} > {limits.max_stages}"
+        )
+    for stage in program.stages:
+        if isinstance(stage, Filter):
+            size = _expr_size(stage.predicate)
+            if size > limits.max_expr_size:
+                raise VerificationError(f"filter expression too large: {size}")
+        elif isinstance(stage, MapTo):
+            size = _expr_size(stage.expr)
+            if size > limits.max_expr_size:
+                raise VerificationError(f"map expression too large: {size}")
+        elif isinstance(stage, Average):
+            if not 1 <= stage.window <= limits.max_window:
+                raise VerificationError(f"average window out of bounds: {stage.window}")
+        elif isinstance(stage, Rate):
+            if stage.window_ms <= 0:
+                raise VerificationError("rate window must be positive")
+        elif isinstance(stage, (Count, Threshold)):
+            pass
+        else:
+            raise VerificationError(f"unknown stage {type(stage).__name__}")
+
+
+class CompiledHandler:
+    """Executable form of a verified program.
+
+    Call it with each event; it returns the pipeline output for that
+    event (None when filtered out or below threshold) and remembers the
+    latest emitted value.
+    """
+
+    def __init__(self, program: HandlerProgram, limits: ResourceLimits = ResourceLimits()) -> None:
+        verify_program(program, limits)
+        self.program = program
+        self._avg_windows: dict[int, deque] = {}
+        self._counts: dict[int, int] = {}
+        self._rate_windows: dict[int, deque] = {}
+        self.last_value: Any = None
+
+    def __call__(self, event: Event) -> Any:
+        value: Any = event
+        for i, stage in enumerate(self.program.stages):
+            if isinstance(stage, Filter):
+                if not evaluate(stage.predicate, event):
+                    return None
+            elif isinstance(stage, MapTo):
+                value = evaluate(stage.expr, event)
+            elif isinstance(stage, Average):
+                window = self._avg_windows.setdefault(i, deque(maxlen=stage.window))
+                if not isinstance(value, (int, float)):
+                    return None
+                window.append(float(value))
+                value = sum(window) / len(window)
+            elif isinstance(stage, Count):
+                self._counts[i] = self._counts.get(i, 0) + 1
+                value = self._counts[i]
+            elif isinstance(stage, Rate):
+                window = self._rate_windows.setdefault(i, deque())
+                window.append(event.time_ms)
+                cutoff = event.time_ms - stage.window_ms
+                while window and window[0] < cutoff:
+                    window.popleft()
+                value = len(window) / stage.window_ms
+            elif isinstance(stage, Threshold):
+                if not isinstance(value, (int, float)) or value < stage.minimum:
+                    return None
+        self.last_value = value
+        return value

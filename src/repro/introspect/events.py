@@ -1,0 +1,58 @@
+"""Introspection events (Section 4.7.1, Figure 8).
+
+"Events include any incoming message or noteworthy physical measurement."
+Observation modules see a stream of :class:`Event` records; fast handlers
+summarize them into the local database, and summaries flow up the
+hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.network import NodeId
+from repro.util.ids import GUID
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One observed occurrence on a node.
+
+    ``kind`` is a small vocabulary ("access", "message", "load", ...);
+    ``attributes`` carries numeric or string measurements.
+    """
+
+    kind: str
+    node: NodeId
+    time_ms: float
+    subject: GUID | None = None
+    attributes: dict = field(default_factory=dict)
+
+    def get(self, name: str, default=None):
+        """Attribute access used by the DSL's Field expression."""
+        if name == "kind":
+            return self.kind
+        if name == "node":
+            return self.node
+        if name == "time_ms":
+            return self.time_ms
+        if name == "subject":
+            return self.subject
+        return self.attributes.get(name, default)
+
+
+class EventBus:
+    """Per-node fan-out of events to registered observation modules."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[Event], None]] = []
+        self.events_delivered = 0
+
+    def subscribe(self, handler: Callable[[Event], None]) -> None:
+        self._subscribers.append(handler)
+
+    def emit(self, event: Event) -> None:
+        self.events_delivered += 1
+        for handler in list(self._subscribers):
+            handler(event)

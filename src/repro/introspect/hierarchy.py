@@ -1,0 +1,136 @@
+"""The introspection hierarchy (Section 4.7.1).
+
+"These systems process local events, forwarding summaries up a
+distributed hierarchy to form approximate global views of the system ...
+after processing and responding to its own events, a third level of each
+node forwards an appropriate summary of its knowledge to a parent node
+for further processing on the wider scale."
+
+Each :class:`IntrospectionNode` runs three levels:
+
+1. fast verified handlers (DSL programs) summarizing events into the
+   local soft-state database;
+2. periodic in-depth analyses over the database (arbitrary Python,
+   trusted code, run rarely);
+3. summary forwarding to the parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.introspect.database import SummaryDatabase
+from repro.introspect.dsl import CompiledHandler, HandlerProgram, ResourceLimits
+from repro.introspect.events import Event, EventBus
+from repro.sim.network import NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """What a node forwards to its parent."""
+
+    origin: NodeId
+    key: str
+    value: Any
+    time_ms: float
+
+
+AnalysisFn = Callable[[SummaryDatabase, float], dict[str, Any]]
+
+
+class IntrospectionNode:
+    """One node's observation/optimization machinery."""
+
+    def __init__(self, node_id: NodeId, limits: ResourceLimits = ResourceLimits()) -> None:
+        self.node_id = node_id
+        self.limits = limits
+        self.bus = EventBus()
+        self.database = SummaryDatabase()
+        self._handlers: dict[str, CompiledHandler] = {}
+        self._analyses: list[AnalysisFn] = []
+        self.parent: "IntrospectionNode | None" = None
+        self.received_summaries: list[Summary] = []
+
+    # -- level 1: fast handlers ------------------------------------------------
+
+    def install_handler(self, program: HandlerProgram) -> None:
+        """Compile (with verification) and attach a handler program."""
+        handler = CompiledHandler(program, self.limits)
+        self._handlers[program.name] = handler
+
+        def on_event(event: Event) -> None:
+            value = handler(event)
+            if value is not None:
+                self.database.put(program.name, value, now_ms=event.time_ms)
+
+        self.bus.subscribe(on_event)
+
+    def observe(self, event: Event) -> None:
+        self.bus.emit(event)
+
+    # -- level 2: periodic analysis -----------------------------------------------
+
+    def install_analysis(self, analysis: AnalysisFn) -> None:
+        self._analyses.append(analysis)
+
+    def run_analyses(self, now_ms: float) -> dict[str, Any]:
+        """Run all in-depth analyses; results land back in the database."""
+        produced: dict[str, Any] = {}
+        for analysis in self._analyses:
+            for key, value in analysis(self.database, now_ms).items():
+                self.database.put(key, value, now_ms=now_ms)
+                produced[key] = value
+        return produced
+
+    # -- level 3: forwarding ----------------------------------------------------------
+
+    def forward_summaries(self, now_ms: float) -> list[Summary]:
+        """Send the current live database upward; returns what was sent."""
+        if self.parent is None:
+            return []
+        sent = []
+        for key, value in self.database.items(now_ms):
+            summary = Summary(
+                origin=self.node_id, key=key, value=value, time_ms=now_ms
+            )
+            self.parent.receive_summary(summary)
+            sent.append(summary)
+        return sent
+
+    def receive_summary(self, summary: Summary) -> None:
+        self.received_summaries.append(summary)
+        self.database.put(
+            f"child:{summary.origin}:{summary.key}", summary.value, summary.time_ms
+        )
+
+
+def build_hierarchy(
+    nodes: list[IntrospectionNode], fanout: int = 4
+) -> IntrospectionNode:
+    """Arrange nodes into a fanout-bounded aggregation tree.
+
+    Returns the root.  Ordering is by node id, so the shape is
+    deterministic; in deployment the parent is located "using the
+    standard OceanStore location mechanism".
+    """
+    if not nodes:
+        raise ValueError("need at least one node")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    ordered = sorted(nodes, key=lambda n: n.node_id)
+    root = ordered[0]
+    frontier = [root]
+    index = 1
+    while index < len(ordered):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(fanout):
+                if index >= len(ordered):
+                    break
+                child = ordered[index]
+                child.parent = parent
+                next_frontier.append(child)
+                index += 1
+        frontier = next_frontier or frontier
+    return root

@@ -1,0 +1,155 @@
+"""Periodic-migration detection and prefetch (Section 4.7.2).
+
+"nodes regularly analyze global usage trends, allowing additional
+optimizations.  For example, OceanStore can detect periodic migration of
+clusters from site to site and prefetch data based on these cycles.
+Thus users will find their project files and email folder on a local
+machine during the work day, and waiting for them on their home machines
+at night."
+
+:class:`MigrationDetector` consumes (object, site, time) access
+observations, bins them into phase histograms over a candidate period,
+and scores periodicity.  With a confident cycle it predicts which site
+will want a cluster at any future time, so an optimizer can move
+replicas *ahead of* the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.ids import GUID
+
+
+@dataclass(frozen=True, slots=True)
+class SiteAccess:
+    """One observed access: which site touched the object, and when."""
+
+    object_guid: GUID
+    site: str
+    time_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationCycle:
+    """A detected periodic pattern for one cluster of objects."""
+
+    period_ms: float
+    #: phase windows: site -> (start fraction, end fraction) of the period
+    site_phases: dict
+
+    def site_at(self, time_ms: float) -> str | None:
+        """Which site the cycle predicts will be active at ``time_ms``."""
+        phase = (time_ms % self.period_ms) / self.period_ms
+        for site, (start, end) in self.site_phases.items():
+            if start <= phase < end:
+                return site
+        return None
+
+
+@dataclass
+class MigrationDetector:
+    """Detects site periodicity from access history.
+
+    ``period_ms`` is the candidate cycle (a day, for the paper's
+    work/home example); ``bins`` is the phase resolution.  Detection
+    requires ``min_observations`` and a dominant site per phase window
+    (purity above ``min_purity``) over at least two full periods.
+    """
+
+    period_ms: float = 86_400_000.0
+    bins: int = 24
+    min_observations: int = 20
+    min_purity: float = 0.8
+    _history: list[SiteAccess] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.period_ms <= 0 or self.bins < 2:
+            raise ValueError("period must be positive and bins >= 2")
+        if not 0.5 < self.min_purity <= 1.0:
+            raise ValueError("min_purity must be in (0.5, 1.0]")
+
+    def observe(self, access: SiteAccess) -> None:
+        self._history.append(access)
+
+    def observe_all(self, accesses: list[SiteAccess]) -> None:
+        self._history.extend(accesses)
+
+    @property
+    def observations(self) -> int:
+        return len(self._history)
+
+    def detect(self) -> MigrationCycle | None:
+        """Fit the candidate period; None unless the cycle is clean."""
+        if len(self._history) < self.min_observations:
+            return None
+        span = max(a.time_ms for a in self._history) - min(
+            a.time_ms for a in self._history
+        )
+        if span < 2 * self.period_ms * 0.5:  # need ~two periods of data
+            return None
+        # Per-phase-bin site counts.
+        bin_counts: list[dict[str, int]] = [dict() for _ in range(self.bins)]
+        for access in self._history:
+            phase_bin = int(
+                (access.time_ms % self.period_ms) / self.period_ms * self.bins
+            ) % self.bins
+            counts = bin_counts[phase_bin]
+            counts[access.site] = counts.get(access.site, 0) + 1
+        # Dominant site per occupied bin; bail on impure bins.
+        dominant: list[str | None] = []
+        for counts in bin_counts:
+            if not counts:
+                dominant.append(None)
+                continue
+            site, count = max(counts.items(), key=lambda kv: kv[1])
+            if count / sum(counts.values()) < self.min_purity:
+                return None  # no clean cycle
+            dominant.append(site)
+        # Contract consecutive bins into site phase windows.
+        site_phases: dict[str, tuple[float, float]] = {}
+        i = 0
+        while i < self.bins:
+            site = dominant[i]
+            if site is None:
+                i += 1
+                continue
+            start = i
+            while i < self.bins and dominant[i] == site:
+                i += 1
+            window = (start / self.bins, i / self.bins)
+            if site in site_phases:
+                # Site active in two disjoint windows: extend greedily to
+                # the union's bounding window (coarse but monotone).
+                old = site_phases[site]
+                window = (min(old[0], window[0]), max(old[1], window[1]))
+            site_phases[site] = window
+        if len(site_phases) < 2:
+            return None  # no migration, just one site
+        return MigrationCycle(period_ms=self.period_ms, site_phases=site_phases)
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetchPlan:
+    """Move the cluster to ``site`` before ``when_ms``."""
+
+    site: str
+    when_ms: float
+
+
+def plan_prefetch(
+    cycle: MigrationCycle, now_ms: float, lead_ms: float = 1_800_000.0
+) -> PrefetchPlan | None:
+    """Where should the data be ``lead_ms`` from now?
+
+    Returns a plan when the predicted site at (now + lead) differs from
+    the site at now -- i.e. a transition is coming and data should start
+    moving; None when no transition is imminent.
+    """
+    if lead_ms <= 0:
+        raise ValueError("lead_ms must be positive")
+    current = cycle.site_at(now_ms)
+    upcoming = cycle.site_at(now_ms + lead_ms)
+    if upcoming is None or upcoming == current:
+        return None
+    return PrefetchPlan(site=upcoming, when_ms=now_ms + lead_ms)

@@ -1,0 +1,145 @@
+"""Introspective replica management (Section 4.7.2).
+
+"Replica management adjusts the number and location of floating replicas
+in order to service access requests more efficiently.  Event handlers
+monitor client requests and system load, noting when access to a specific
+replica exceeds its resource allotment.  When access requests overwhelm a
+replica, it forwards a request for assistance to its parent node.  The
+parent, which tracks locally available resources, can create additional
+floating replicas on nearby nodes to alleviate load.  Conversely, replica
+management eliminates floating replicas that have fallen into disuse."
+
+The manager observes per-(object, replica) request rates in sliding
+windows and issues :class:`ReplicaDecision` records.  Actuation (actually
+creating/destroying replicas) is delegated to callbacks so the same logic
+drives the integrated system in :mod:`repro.core` and standalone tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.sim.network import NodeId
+from repro.util.ids import GUID
+
+
+class DecisionKind(Enum):
+    CREATE = "create"
+    ELIMINATE = "eliminate"
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaDecision:
+    kind: DecisionKind
+    object_guid: GUID
+    replica_node: NodeId
+    #: for CREATE: where the new replica should go (near the load)
+    target_node: NodeId | None = None
+
+
+@dataclass
+class _ReplicaLoad:
+    requests: deque = field(default_factory=deque)
+    #: clients generating the recent load, for placement decisions
+    recent_clients: deque = field(default_factory=deque)
+
+
+class ReplicaManager:
+    """Load-driven replica creation and disuse-driven elimination."""
+
+    def __init__(
+        self,
+        window_ms: float = 10_000.0,
+        overload_requests: int = 20,
+        disuse_requests: int = 1,
+        pick_nearby: Callable[[NodeId], NodeId] | None = None,
+    ) -> None:
+        if window_ms <= 0:
+            raise ValueError("window must be positive")
+        if overload_requests <= disuse_requests:
+            raise ValueError("overload threshold must exceed disuse threshold")
+        self.window_ms = window_ms
+        self.overload_requests = overload_requests
+        self.disuse_requests = disuse_requests
+        self.pick_nearby = pick_nearby
+        self._loads: dict[tuple[GUID, NodeId], _ReplicaLoad] = {}
+
+    # -- observation -----------------------------------------------------------
+
+    def record_request(
+        self, object_guid: GUID, replica_node: NodeId, client: NodeId, now_ms: float
+    ) -> None:
+        load = self._loads.setdefault((object_guid, replica_node), _ReplicaLoad())
+        load.requests.append(now_ms)
+        load.recent_clients.append(client)
+        while len(load.recent_clients) > 16:
+            load.recent_clients.popleft()
+        self._trim(load, now_ms)
+
+    def register_replica(self, object_guid: GUID, replica_node: NodeId) -> None:
+        """Track a replica even before it sees requests (for disuse)."""
+        self._loads.setdefault((object_guid, replica_node), _ReplicaLoad())
+
+    def forget_replica(self, object_guid: GUID, replica_node: NodeId) -> None:
+        self._loads.pop((object_guid, replica_node), None)
+
+    def _trim(self, load: _ReplicaLoad, now_ms: float) -> None:
+        cutoff = now_ms - self.window_ms
+        while load.requests and load.requests[0] < cutoff:
+            load.requests.popleft()
+
+    def request_rate(self, object_guid: GUID, replica_node: NodeId, now_ms: float) -> int:
+        load = self._loads.get((object_guid, replica_node))
+        if load is None:
+            return 0
+        self._trim(load, now_ms)
+        return len(load.requests)
+
+    # -- decisions ----------------------------------------------------------------
+
+    def evaluate(self, now_ms: float) -> list[ReplicaDecision]:
+        """Scan all tracked replicas; emit create/eliminate decisions.
+
+        A replica is preserved from elimination if it is the only one we
+        know of for its object (availability floor).
+        """
+        decisions = []
+        replicas_per_object: dict[GUID, int] = {}
+        for (guid, _node) in self._loads:
+            replicas_per_object[guid] = replicas_per_object.get(guid, 0) + 1
+        for (guid, node), load in sorted(
+            self._loads.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+        ):
+            self._trim(load, now_ms)
+            count = len(load.requests)
+            if count >= self.overload_requests:
+                target = None
+                if load.recent_clients:
+                    hot_client = max(
+                        set(load.recent_clients), key=list(load.recent_clients).count
+                    )
+                    target = (
+                        self.pick_nearby(hot_client)
+                        if self.pick_nearby is not None
+                        else hot_client
+                    )
+                decisions.append(
+                    ReplicaDecision(
+                        kind=DecisionKind.CREATE,
+                        object_guid=guid,
+                        replica_node=node,
+                        target_node=target,
+                    )
+                )
+            elif count < self.disuse_requests and replicas_per_object[guid] > 1:
+                decisions.append(
+                    ReplicaDecision(
+                        kind=DecisionKind.ELIMINATE,
+                        object_guid=guid,
+                        replica_node=node,
+                    )
+                )
+        return decisions

@@ -1,0 +1,106 @@
+"""Log-structured directories: Coda-style merge on ciphertext.
+
+Section 4.4.1: "Coda [26] provided specific merge procedures for
+conflicting updates of directories; this type of conflict resolution is
+easily supported under our model."
+
+A conventional directory object (one blob rewritten per change) makes
+every concurrent bind a conflict.  A *log-structured* directory instead
+stores a sequence of encrypted delta records -- ``bind`` and ``unbind``
+entries, one block each -- and the reader folds them in order.  Two
+concurrent binds of *different* names are plain appends: both commit,
+no conflict, and the merged directory contains both (exactly Coda's
+directory-merge semantics).  Only same-name races need resolution, which
+the fold rule handles deterministically (last committed record wins).
+
+Records are ordinary ciphertext blocks, so untrusted servers never see
+names or targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.naming.directory import Directory
+from repro.util import serialization
+from repro.util.ids import GUID
+
+
+class DirectoryRecordError(ValueError):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class DirectoryRecord:
+    """One delta: bind ``name`` to ``target``, or unbind it."""
+
+    op: str  # "bind" | "unbind"
+    name: str
+    target: GUID | None = None
+    is_directory: bool = False
+
+    def encode(self) -> bytes:
+        return serialization.encode(
+            {
+                "op": self.op,
+                "name": self.name,
+                "target": self.target.to_bytes() if self.target else None,
+                "is_directory": self.is_directory,
+            }
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DirectoryRecord":
+        try:
+            decoded = serialization.decode(data)
+        except ValueError as exc:
+            raise DirectoryRecordError(f"malformed directory record: {exc}") from exc
+        op = decoded.get("op")
+        if op not in ("bind", "unbind"):
+            raise DirectoryRecordError(f"unknown directory op {op!r}")
+        raw_target = decoded.get("target")
+        return cls(
+            op=op,
+            name=decoded["name"],
+            target=GUID.from_bytes(raw_target) if raw_target else None,
+            is_directory=bool(decoded.get("is_directory", False)),
+        )
+
+
+def bind_record(name: str, target: GUID, is_directory: bool = False) -> DirectoryRecord:
+    if not name or "/" in name:
+        raise DirectoryRecordError(f"invalid name component: {name!r}")
+    return DirectoryRecord(op="bind", name=name, target=target, is_directory=is_directory)
+
+
+def unbind_record(name: str) -> DirectoryRecord:
+    if not name:
+        raise DirectoryRecordError("empty name")
+    return DirectoryRecord(op="unbind", name=name)
+
+
+def fold_records(records: list[DirectoryRecord]) -> Directory:
+    """Fold deltas in commit order into the current directory view.
+
+    Later records win same-name races; unbind of an absent name is a
+    no-op (deletions commute with missed binds, as in Coda's merge).
+    """
+    directory = Directory()
+    for record in records:
+        if record.op == "bind":
+            if record.target is None:
+                raise DirectoryRecordError(f"bind of {record.name!r} lacks target")
+            directory.bind(record.name, record.target, record.is_directory)
+        else:
+            directory.entries.pop(record.name, None)
+    return directory
+
+
+def compact_records(records: list[DirectoryRecord]) -> list[DirectoryRecord]:
+    """The minimal record list producing the same fold (for the paper's
+    occasional whole-object re-encryption / log compaction)."""
+    folded = fold_records(records)
+    return [
+        bind_record(entry.name, entry.target, entry.is_directory)
+        for entry in folded.list()
+    ]

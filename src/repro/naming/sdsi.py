@@ -1,0 +1,106 @@
+"""SDSI-style locally linked name spaces (Section 4.1; refs [1, 42]).
+
+Self-certifying GUIDs reduce secure naming to "a problem of secure key
+lookup", which the paper addresses with SDSI's locally linked namespaces:
+every principal maintains *local* bindings from nicknames to public keys,
+and compound names chain through other principals' namespaces --
+``alice: ("bob", "carol")`` means "the key that the principal Alice calls
+'bob' calls 'carol'".
+
+Bindings are signed certificates, so a resolver can verify each hop with
+nothing but the starting principal's key.  There is no global root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.rsa import PublicKey
+from repro.crypto.keys import Principal
+from repro.util import serialization
+
+
+class ResolutionError(KeyError):
+    """A compound name failed to resolve (missing or invalid binding)."""
+
+
+@dataclass(frozen=True, slots=True)
+class NameCertificate:
+    """A signed local binding: *issuer says nickname means subject-key*."""
+
+    issuer_key: PublicKey
+    nickname: str
+    subject_key: PublicKey
+    signature: bytes
+
+    @staticmethod
+    def _message(issuer_key: PublicKey, nickname: str, subject_key: PublicKey) -> bytes:
+        return serialization.encode(
+            {
+                "type": "sdsi-binding",
+                "issuer": issuer_key.to_bytes(),
+                "nickname": nickname,
+                "subject": subject_key.to_bytes(),
+            }
+        )
+
+    @classmethod
+    def issue(
+        cls, issuer: Principal, nickname: str, subject_key: PublicKey
+    ) -> "NameCertificate":
+        message = cls._message(issuer.public_key, nickname, subject_key)
+        return cls(
+            issuer_key=issuer.public_key,
+            nickname=nickname,
+            subject_key=subject_key,
+            signature=issuer.sign(message),
+        )
+
+    def verify(self) -> bool:
+        message = self._message(self.issuer_key, self.nickname, self.subject_key)
+        return self.issuer_key.verify(message, self.signature)
+
+
+class NamespaceStore:
+    """A collection of name certificates, indexed by (issuer, nickname).
+
+    In deployment these certificates would themselves live in OceanStore
+    objects; the store abstracts where they came from.  Certificates that
+    fail signature verification are rejected at insertion, and re-verified
+    at resolution time (defense in depth against a corrupted store).
+    """
+
+    def __init__(self) -> None:
+        self._bindings: dict[tuple[bytes, str], NameCertificate] = {}
+
+    def add(self, certificate: NameCertificate) -> None:
+        if not certificate.verify():
+            raise ValueError("certificate signature invalid")
+        key = (certificate.issuer_key.to_bytes(), certificate.nickname)
+        self._bindings[key] = certificate
+
+    def lookup(self, issuer_key: PublicKey, nickname: str) -> NameCertificate:
+        try:
+            return self._bindings[(issuer_key.to_bytes(), nickname)]
+        except KeyError:
+            raise ResolutionError(
+                f"no binding for {nickname!r} in issuer's namespace"
+            ) from None
+
+    def resolve_chain(
+        self, start_key: PublicKey, names: Sequence[str]
+    ) -> PublicKey:
+        """Resolve a compound name, hopping namespaces one nickname at a time.
+
+        Returns the final public key.  Every certificate along the chain is
+        signature-checked against the key reached so far, so a poisoned
+        store cannot redirect the chain.
+        """
+        current = start_key
+        for nickname in names:
+            certificate = self.lookup(current, nickname)
+            if not certificate.verify():
+                raise ResolutionError(f"invalid certificate for {nickname!r}")
+            current = certificate.subject_key
+        return current

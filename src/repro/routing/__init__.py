@@ -1,0 +1,61 @@
+"""Data location and routing (Section 4.3).
+
+Two tiers: a fast probabilistic layer built on attenuated Bloom filters
+(:mod:`~repro.routing.bloom`, :mod:`~repro.routing.probabilistic`), and a
+reliable global layer built on a Plaxton-style mesh
+(:mod:`~repro.routing.plaxton`) with salted replicated roots
+(:mod:`~repro.routing.salt`) and maintenance-free membership
+(:mod:`~repro.routing.membership`).  :class:`LocationService` composes
+the tiers.
+"""
+
+from repro.routing.bloom import (
+    AttenuatedBloomFilter,
+    AttenuatedMatch,
+    BloomFilter,
+    guid_bit_positions,
+)
+from repro.routing.membership import MembershipManager
+from repro.routing.multicast import (
+    AdmissionDenied,
+    DeliveryReport,
+    MulticastError,
+    MulticastService,
+)
+from repro.routing.plaxton import (
+    LocateResult,
+    LocationPointer,
+    PlaxtonMesh,
+    PlaxtonNode,
+    RouteTrace,
+    RoutingError,
+)
+from repro.routing.probabilistic import ProbabilisticLocator, QueryResult
+from repro.routing.salt import DEFAULT_SALTS, SaltedLocateResult, SaltedRouter
+from repro.routing.service import LocationResult, LocationService, Tier
+
+__all__ = [
+    "AdmissionDenied",
+    "AttenuatedBloomFilter",
+    "AttenuatedMatch",
+    "BloomFilter",
+    "DEFAULT_SALTS",
+    "DeliveryReport",
+    "MulticastError",
+    "MulticastService",
+    "LocateResult",
+    "LocationPointer",
+    "LocationResult",
+    "LocationService",
+    "MembershipManager",
+    "PlaxtonMesh",
+    "PlaxtonNode",
+    "ProbabilisticLocator",
+    "QueryResult",
+    "RouteTrace",
+    "RoutingError",
+    "SaltedLocateResult",
+    "SaltedRouter",
+    "Tier",
+    "guid_bit_positions",
+]

@@ -1,0 +1,199 @@
+"""Probabilistic data location by hill-climbing (Section 4.3.2, Figure 2).
+
+"The probabilistic algorithm is fully distributed and uses a constant
+amount of storage per server.  It is based on the idea of hill-climbing;
+if a query cannot be satisfied by a server, local information is used to
+route the query to a likely neighbor."
+
+Every node keeps, for each directed edge, the attenuated Bloom filter its
+neighbor last advertised.  A query at a node first checks local content,
+then forwards along the edge whose filter claims the object at the
+smallest distance.  Queries carry a TTL and a visited set (loop
+avoidance); if no filter matches, the query *fails over* to the
+deterministic global algorithm (Section 4.3.1's two-tier design).
+
+Per the paper, "'reliability factors' can be applied locally to increase
+the distance to nodes that have abused the protocol in the past,
+automatically routing around certain classes of attacks": each node
+tracks a penalty per neighbor, added to the filter distance during
+next-hop selection, so neighbors that advertise objects they cannot
+produce stop attracting queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.routing.bloom import AttenuatedBloomFilter, BloomFilter
+from repro.sim.network import Network, NodeId
+from repro.util.ids import GUID
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """Outcome of one probabilistic query."""
+
+    found: bool
+    location: NodeId | None
+    path: tuple[NodeId, ...]
+    latency_ms: float
+
+    @property
+    def hops(self) -> int:
+        return max(len(self.path) - 1, 0)
+
+
+@dataclass
+class _NodeState:
+    content: set[GUID] = field(default_factory=set)
+    local_filter: BloomFilter | None = None
+    #: filter this node advertises to its neighbors
+    advertisement: AttenuatedBloomFilter | None = None
+    #: filters received from each neighbor, keyed by neighbor id
+    neighbor_filters: dict[NodeId, AttenuatedBloomFilter] = field(default_factory=dict)
+    #: reliability penalty per neighbor (added to filter distance)
+    penalties: dict[NodeId, float] = field(default_factory=dict)
+
+
+class ProbabilisticLocator:
+    """Attenuated-Bloom-filter location layer over a simulated network.
+
+    Filter state converges via :meth:`refresh_round`: each round, every
+    node rebuilds its advertisement from neighbors' previous
+    advertisements, so information propagates one hop per round (run
+    ``depth`` rounds after content changes for full convergence --
+    exactly the soft-state maintenance cost the design trades for
+    constant storage).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        depth: int = 3,
+        width: int = 2048,
+        hashes: int = 4,
+    ) -> None:
+        self.network = network
+        self.depth = depth
+        self.width = width
+        self.hashes = hashes
+        self._nodes: dict[NodeId, _NodeState] = {}
+        for node in network.nodes():
+            state = _NodeState()
+            state.local_filter = BloomFilter(width, hashes)
+            state.advertisement = AttenuatedBloomFilter(depth, width, hashes)
+            self._nodes[node] = state
+        self.stats_refresh_bytes = 0
+
+    # -- content management -------------------------------------------------
+
+    def add_object(self, node: NodeId, guid: GUID) -> None:
+        state = self._nodes[node]
+        state.content.add(guid)
+        state.local_filter.add(guid)
+
+    def remove_object(self, node: NodeId, guid: GUID) -> None:
+        """Remove content; the local filter is rebuilt (no counting filters)."""
+        state = self._nodes[node]
+        state.content.discard(guid)
+        state.local_filter = BloomFilter(self.width, self.hashes)
+        for g in state.content:
+            state.local_filter.add(g)
+
+    def objects_at(self, node: NodeId) -> set[GUID]:
+        return set(self._nodes[node].content)
+
+    # -- filter maintenance ---------------------------------------------------
+
+    def refresh_round(self) -> None:
+        """One synchronous advertisement round.
+
+        Each node rebuilds its advertisement from neighbors' *previous*
+        advertisements and pushes it to every neighbor.  Byte cost is
+        tracked for overhead accounting.
+        """
+        new_ads: dict[NodeId, AttenuatedBloomFilter] = {}
+        for node, state in self._nodes.items():
+            neighbor_ads = [
+                self._nodes[n].advertisement
+                for n in self.network.neighbors(node)
+                if not self.network.is_down(n)
+            ]
+            new_ads[node] = AttenuatedBloomFilter.from_local_and_neighbors(
+                self.depth, self.width, self.hashes, state.local_filter, neighbor_ads
+            )
+        for node, ad in new_ads.items():
+            self._nodes[node].advertisement = ad
+            for neighbor in self.network.neighbors(node):
+                if self.network.is_down(node) or self.network.is_down(neighbor):
+                    continue
+                self._nodes[neighbor].neighbor_filters[node] = ad.copy()
+                self.stats_refresh_bytes += ad.size_bytes()
+
+    def converge(self) -> None:
+        """Run enough rounds for full depth-D convergence."""
+        for _ in range(self.depth + 1):
+            self.refresh_round()
+
+    # -- querying --------------------------------------------------------------
+
+    def query(
+        self, start: NodeId, guid: GUID, ttl: int | None = None
+    ) -> QueryResult:
+        """Hill-climb from ``start`` toward ``guid`` (Figure 2).
+
+        ``ttl`` bounds the number of forwarding hops; the default is
+        ``2 * depth`` -- beyond that the filters carry no signal and the
+        query should fall back to the global algorithm.
+        """
+        if ttl is None:
+            ttl = 2 * self.depth
+        path = [start]
+        latency = 0.0
+        visited = {start}
+        current = start
+        for _ in range(ttl + 1):
+            state = self._nodes[current]
+            if guid in state.content:
+                return QueryResult(True, current, tuple(path), latency)
+            best: tuple[float, float, NodeId] | None = None
+            for neighbor, filt in state.neighbor_filters.items():
+                if neighbor in visited or self.network.is_down(neighbor):
+                    continue
+                match = filt.first_match(guid)
+                if match is None:
+                    continue
+                hop_latency = self.network.latency_ms(current, neighbor)
+                effective = match.distance + state.penalties.get(neighbor, 0.0)
+                candidate = (effective, hop_latency, neighbor)
+                if best is None or candidate < best:
+                    best = candidate
+            if best is None:
+                break
+            _, hop_latency, neighbor = best
+            latency += hop_latency
+            current = neighbor
+            visited.add(current)
+            path.append(current)
+        return QueryResult(False, None, tuple(path), latency)
+
+    # -- reliability factors ----------------------------------------------------
+
+    def penalize(self, node: NodeId, neighbor: NodeId, amount: float = 1.0) -> None:
+        """Record protocol abuse: ``node`` distrusts ``neighbor``.
+
+        The penalty inflates the neighbor's apparent filter distance, so
+        hill-climbing prefers honest edges ("automatically routing around
+        certain classes of attacks").
+        """
+        if amount < 0:
+            raise ValueError("penalty must be non-negative")
+        state = self._nodes[node]
+        state.penalties[neighbor] = state.penalties.get(neighbor, 0.0) + amount
+
+    def forgive(self, node: NodeId, neighbor: NodeId) -> None:
+        """Reset a neighbor's penalty (e.g. after sustained good service)."""
+        self._nodes[node].penalties.pop(neighbor, None)
+
+    def penalty(self, node: NodeId, neighbor: NodeId) -> float:
+        return self._nodes[node].penalties.get(neighbor, 0.0)

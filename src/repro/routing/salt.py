@@ -1,0 +1,93 @@
+"""Replicated roots via salted GUIDs (Section 4.3.3).
+
+"Each object has a single root, which becomes a single point of failure
+... OceanStore addresses this weakness in a simple way: it hashes each
+GUID with a small number of different salt values.  The result maps to
+several different root nodes, thus gaining redundancy and simultaneously
+making it difficult to target a single node with a denial of service
+attack against a range of GUIDs."
+
+:class:`SaltedRouter` wraps a mesh: publishes deposit pointer paths under
+every salted GUID, and locates try salts in order, failing over when a
+salt's path is broken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.plaxton import LocateResult, PlaxtonMesh, RouteTrace, RoutingError
+from repro.sim.network import NodeId
+from repro.util.ids import GUID
+
+#: Default number of salted roots per object ("a small number").
+DEFAULT_SALTS = 3
+
+
+@dataclass(frozen=True, slots=True)
+class SaltedLocateResult:
+    found: bool
+    replica_node: NodeId | None
+    salts_tried: int
+    total_hops: int
+    total_latency_ms: float
+
+
+class SaltedRouter:
+    """Multi-root publish/locate over a Plaxton mesh."""
+
+    def __init__(self, mesh: PlaxtonMesh, salts: int = DEFAULT_SALTS) -> None:
+        if salts < 1:
+            raise ValueError(f"need at least one salt, got {salts}")
+        self.mesh = mesh
+        self.salts = salts
+
+    def salted_guids(self, object_guid: GUID) -> list[GUID]:
+        return [object_guid.with_salt(i) for i in range(self.salts)]
+
+    def roots_of(self, object_guid: GUID) -> list[NodeId]:
+        """The (distinct, usually) root nodes across all salts."""
+        return [self.mesh.root_of(g) for g in self.salted_guids(object_guid)]
+
+    def publish(self, replica_node: NodeId, object_guid: GUID) -> list[RouteTrace]:
+        """Publish under every salt; returns one trace per salt."""
+        return [
+            self.mesh.publish(replica_node, salted)
+            for salted in self.salted_guids(object_guid)
+        ]
+
+    def unpublish(self, replica_node: NodeId, object_guid: GUID) -> None:
+        for salted in self.salted_guids(object_guid):
+            self.mesh.unpublish(replica_node, salted)
+
+    def locate(self, start: NodeId, object_guid: GUID) -> SaltedLocateResult:
+        """Try salts in order until one finds the object.
+
+        A salt can fail if its pointer path was damaged (dead root, lost
+        pointers); the next salt provides an independent path -- this is
+        the redundancy the experiments in E10 measure.
+        """
+        total_hops = 0
+        total_latency = 0.0
+        for i, salted in enumerate(self.salted_guids(object_guid)):
+            try:
+                result: LocateResult = self.mesh.locate(start, salted)
+            except RoutingError:
+                continue
+            total_hops += result.trace.hops
+            total_latency += result.trace.latency_ms
+            if result.found:
+                return SaltedLocateResult(
+                    found=True,
+                    replica_node=result.replica_node,
+                    salts_tried=i + 1,
+                    total_hops=total_hops,
+                    total_latency_ms=total_latency,
+                )
+        return SaltedLocateResult(
+            found=False,
+            replica_node=None,
+            salts_tried=self.salts,
+            total_hops=total_hops,
+            total_latency_ms=total_latency,
+        )

@@ -1,0 +1,92 @@
+"""The two-tier location service (Section 4.3.1).
+
+"The mechanism for routing is a two-tiered approach featuring a fast,
+probabilistic algorithm backed up by a slower, reliable hierarchical
+method. ... the probabilistic algorithm routes to entities rapidly if
+they are in the local vicinity.  If this attempt fails, a large-scale
+hierarchical data structure in the style of Plaxton et al. locates
+entities that cannot be found locally."
+
+:class:`LocationService` composes :class:`ProbabilisticLocator` and
+:class:`SaltedRouter` and keeps both consistent as replicas appear and
+disappear.  It is the single entry point the rest of the system uses to
+find floating replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.routing.probabilistic import ProbabilisticLocator
+from repro.routing.salt import SaltedRouter
+from repro.sim.network import NodeId
+from repro.util.ids import GUID
+
+
+class Tier(Enum):
+    PROBABILISTIC = "probabilistic"
+    GLOBAL = "global"
+    NOT_FOUND = "not-found"
+
+
+@dataclass(frozen=True, slots=True)
+class LocationResult:
+    found: bool
+    replica_node: NodeId | None
+    tier: Tier
+    hops: int
+    latency_ms: float
+
+
+class LocationService:
+    """Find the closest replica: fast local attempt, reliable fallback."""
+
+    def __init__(
+        self, probabilistic: ProbabilisticLocator, global_router: SaltedRouter
+    ) -> None:
+        self.probabilistic = probabilistic
+        self.global_router = global_router
+        self.stats_probabilistic_hits = 0
+        self.stats_global_hits = 0
+        self.stats_misses = 0
+
+    def add_replica(self, node: NodeId, object_guid: GUID) -> None:
+        """Register a replica with both tiers."""
+        self.probabilistic.add_object(node, object_guid)
+        self.global_router.publish(node, object_guid)
+
+    def remove_replica(self, node: NodeId, object_guid: GUID) -> None:
+        self.probabilistic.remove_object(node, object_guid)
+        self.global_router.unpublish(node, object_guid)
+
+    def locate(self, start: NodeId, object_guid: GUID) -> LocationResult:
+        """Two-tier lookup from ``start``."""
+        fast = self.probabilistic.query(start, object_guid)
+        if fast.found:
+            self.stats_probabilistic_hits += 1
+            return LocationResult(
+                found=True,
+                replica_node=fast.location,
+                tier=Tier.PROBABILISTIC,
+                hops=fast.hops,
+                latency_ms=fast.latency_ms,
+            )
+        slow = self.global_router.locate(start, object_guid)
+        if slow.found:
+            self.stats_global_hits += 1
+            return LocationResult(
+                found=True,
+                replica_node=slow.replica_node,
+                tier=Tier.GLOBAL,
+                hops=fast.hops + slow.total_hops,
+                latency_ms=fast.latency_ms + slow.total_latency_ms,
+            )
+        self.stats_misses += 1
+        return LocationResult(
+            found=False,
+            replica_node=None,
+            tier=Tier.NOT_FOUND,
+            hops=fast.hops + slow.total_hops,
+            latency_ms=fast.latency_ms + slow.total_latency_ms,
+        )

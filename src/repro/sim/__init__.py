@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation ran on a planned wide-area deployment; this package
+provides the deterministic simulator that replaces it: an event kernel
+(:mod:`repro.sim.kernel`), a transit-stub network with latency and byte
+accounting (:mod:`repro.sim.network`), failure/churn injection
+(:mod:`repro.sim.failures`), and measurement helpers
+(:mod:`repro.sim.stats`).
+"""
+
+from repro.sim.failures import ChurnParams, FailureInjector
+from repro.sim.kernel import EventHandle, Kernel, SimulationError, Timer
+from repro.sim.network import (
+    LinkStats,
+    Message,
+    Network,
+    NodeId,
+    TopologyParams,
+    build_transit_stub_topology,
+)
+from repro.sim.stats import Counter, Distribution
+
+__all__ = [
+    "ChurnParams",
+    "Counter",
+    "Distribution",
+    "EventHandle",
+    "FailureInjector",
+    "Kernel",
+    "LinkStats",
+    "Message",
+    "Network",
+    "NodeId",
+    "SimulationError",
+    "Timer",
+    "TopologyParams",
+    "build_transit_stub_topology",
+]

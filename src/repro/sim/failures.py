@@ -1,0 +1,111 @@
+"""Failure injection: crashes, churn, and Byzantine behaviour flags.
+
+OceanStore assumes "servers may crash without warning" and that some
+fraction behave arbitrarily (Section 1.2).  The experiments need three
+kinds of adversity:
+
+* **crash/revive** of individual servers (deep-archival reliability, root
+  failure in the location mesh);
+* **churn**: a Poisson-ish process of sessions joining and leaving
+  (maintenance-free operation, Section 4.3.3);
+* **Byzantine marking**: designating a subset of primary-tier replicas as
+  faulty for the agreement experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network, NodeId
+
+
+@dataclass
+class ChurnParams:
+    """Mean up/down durations for the churn process (virtual ms)."""
+
+    mean_uptime_ms: float = 600_000.0
+    mean_downtime_ms: float = 60_000.0
+
+
+class FailureInjector:
+    """Drives crash/revive schedules against a :class:`Network`."""
+
+    def __init__(self, kernel: Kernel, network: Network, rng: random.Random) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.rng = rng
+        self._on_crash: list[Callable[[NodeId], None]] = []
+        self._on_revive: list[Callable[[NodeId], None]] = []
+        self._churning: set[NodeId] = set()
+
+    def on_crash(self, callback: Callable[[NodeId], None]) -> None:
+        self._on_crash.append(callback)
+
+    def on_revive(self, callback: Callable[[NodeId], None]) -> None:
+        self._on_revive.append(callback)
+
+    # -- one-shot failures ---------------------------------------------------
+
+    def crash(self, node: NodeId) -> None:
+        if not self.network.is_down(node):
+            self.network.set_down(node, True)
+            for cb in self._on_crash:
+                cb(node)
+
+    def revive(self, node: NodeId) -> None:
+        if self.network.is_down(node):
+            self.network.set_down(node, False)
+            for cb in self._on_revive:
+                cb(node)
+
+    def crash_fraction(self, nodes: Sequence[NodeId], fraction: float) -> list[NodeId]:
+        """Crash a uniform random ``fraction`` of ``nodes``; returns victims."""
+        count = int(round(len(nodes) * fraction))
+        victims = self.rng.sample(list(nodes), count)
+        for node in victims:
+            self.crash(node)
+        return victims
+
+    def crash_at(self, time_ms: float, node: NodeId) -> None:
+        self.kernel.call_at(time_ms, lambda: self.crash(node))
+
+    def revive_at(self, time_ms: float, node: NodeId) -> None:
+        self.kernel.call_at(time_ms, lambda: self.revive(node))
+
+    # -- churn ----------------------------------------------------------------
+
+    def start_churn(self, nodes: Sequence[NodeId], params: ChurnParams) -> None:
+        """Start an exponential up/down cycle on each node in ``nodes``."""
+        for node in nodes:
+            if node in self._churning:
+                continue
+            self._churning.add(node)
+            self._schedule_crash(node, params)
+
+    def stop_churn(self) -> None:
+        self._churning.clear()
+
+    def _schedule_crash(self, node: NodeId, params: ChurnParams) -> None:
+        delay = self.rng.expovariate(1.0 / params.mean_uptime_ms)
+
+        def do_crash() -> None:
+            if node not in self._churning:
+                return
+            self.crash(node)
+            self._schedule_revive(node, params)
+
+        self.kernel.call_after(delay, do_crash)
+
+    def _schedule_revive(self, node: NodeId, params: ChurnParams) -> None:
+        delay = self.rng.expovariate(1.0 / params.mean_downtime_ms)
+
+        def do_revive() -> None:
+            if node not in self._churning:
+                return
+            self.revive(node)
+            self._schedule_crash(node, params)
+
+        self.kernel.call_after(delay, do_revive)

@@ -1,0 +1,185 @@
+"""Discrete-event simulation kernel.
+
+The paper's prototype ran on a wide-area testbed; we substitute a
+deterministic discrete-event simulator.  The kernel is a classic event
+queue: callbacks scheduled at virtual times, executed in time order, with
+ties broken by insertion sequence so runs are fully deterministic.
+
+Virtual time is measured in milliseconds (floats), matching the paper's
+"assume each message takes 100 ms" framing in Section 4.4.5.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling in the past)."""
+
+
+class Kernel:
+    """Deterministic discrete-event loop.
+
+    Typical use::
+
+        kernel = Kernel()
+        kernel.call_at(10.0, lambda: print("at t=10ms"))
+        kernel.run()
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        event = _ScheduledEvent(time, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` ms of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        ``until`` is inclusive: an event scheduled exactly at ``until``
+        runs.  After the run, ``now`` is the time of the last executed
+        event (or ``until``, if given and later).
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = event.time
+            event.callback()
+            executed += 1
+            self._events_executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._events_executed += 1
+            return True
+        return False
+
+
+class Timer:
+    """A repeating timer built on the kernel.
+
+    Used for soft-state beacons, epidemic anti-entropy rounds, repair
+    sweeps, and introspection analysis ticks.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: Callable[[], float] | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive: {interval}")
+        self._kernel = kernel
+        self._interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._handle: EventHandle | None = None
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _schedule_next(self) -> None:
+        delay = self._interval
+        if self._jitter is not None:
+            delay += self._jitter()
+        self._handle = self._kernel.call_after(max(delay, 0.0), self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._schedule_next()

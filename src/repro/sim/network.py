@@ -1,0 +1,261 @@
+"""Simulated wide-area network: topology, latency, and message delivery.
+
+The paper assumes a global infrastructure of servers with heterogeneous
+connectivity: a well-connected core (where primary-tier replicas live) and
+high-latency, low-bandwidth leaves (Section 1, Section 4.4.3).  We model
+this with a transit-stub-style topology: a small clique-ish core of transit
+routers, each with several stub domains of servers hanging off it.
+
+Messages are delivered by the :class:`Network` with latency equal to the
+shortest-path link latency between endpoints plus a per-message overhead.
+Byte accounting is tracked globally and per-link for the bandwidth
+experiments (Figure 6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+import networkx as nx
+
+from repro.sim.kernel import Kernel
+
+NodeId = int
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A network-level message between two simulated hosts.
+
+    ``payload`` is an arbitrary protocol object; ``size_bytes`` is the
+    bandwidth accounting size (protocol layers set this explicitly so the
+    Figure 6 cost model uses the paper's byte counts, not Python object
+    sizes).
+    """
+
+    src: NodeId
+    dst: NodeId
+    payload: Any
+    size_bytes: int
+
+
+@dataclass
+class LinkStats:
+    messages: int = 0
+    bytes: int = 0
+
+
+@dataclass
+class TopologyParams:
+    """Parameters for transit-stub topology generation."""
+
+    transit_nodes: int = 8
+    stubs_per_transit: int = 3
+    nodes_per_stub: int = 8
+    transit_transit_latency_ms: float = 40.0
+    transit_stub_latency_ms: float = 20.0
+    stub_stub_latency_ms: float = 5.0
+    latency_jitter: float = 0.2  # +/- fraction applied at generation time
+    extra_transit_edges: int = 4
+
+
+def build_transit_stub_topology(
+    params: TopologyParams, rng: random.Random
+) -> nx.Graph:
+    """Generate a transit-stub graph with per-edge ``latency_ms``.
+
+    Transit routers form a ring plus random chords; each transit router
+    sponsors several stub domains, each a small connected cluster of
+    server nodes.  Node attribute ``kind`` is ``"transit"`` or ``"stub"``.
+    """
+    graph = nx.Graph()
+
+    def jittered(base: float) -> float:
+        spread = params.latency_jitter
+        return base * (1.0 + rng.uniform(-spread, spread))
+
+    transit = list(range(params.transit_nodes))
+    for t in transit:
+        graph.add_node(t, kind="transit")
+    for i, t in enumerate(transit):
+        u = transit[(i + 1) % len(transit)]
+        if t != u:
+            graph.add_edge(t, u, latency_ms=jittered(params.transit_transit_latency_ms))
+    for _ in range(params.extra_transit_edges):
+        if len(transit) < 2:
+            break
+        a, b = rng.sample(transit, 2)
+        if not graph.has_edge(a, b):
+            graph.add_edge(a, b, latency_ms=jittered(params.transit_transit_latency_ms))
+
+    next_id = params.transit_nodes
+    for t in transit:
+        for _ in range(params.stubs_per_transit):
+            stub_nodes = list(range(next_id, next_id + params.nodes_per_stub))
+            next_id += params.nodes_per_stub
+            for s in stub_nodes:
+                graph.add_node(s, kind="stub")
+            # Connect stub nodes in a short path plus random chords, then
+            # attach the first node (the stub gateway) to the transit router.
+            for a, b in zip(stub_nodes, stub_nodes[1:]):
+                graph.add_edge(a, b, latency_ms=jittered(params.stub_stub_latency_ms))
+            for s in stub_nodes[2:]:
+                if rng.random() < 0.3:
+                    other = rng.choice(stub_nodes[: stub_nodes.index(s)])
+                    if not graph.has_edge(s, other):
+                        graph.add_edge(
+                            s, other, latency_ms=jittered(params.stub_stub_latency_ms)
+                        )
+            graph.add_edge(
+                stub_nodes[0], t, latency_ms=jittered(params.transit_stub_latency_ms)
+            )
+    return graph
+
+
+class Network:
+    """Latency-accurate message delivery over a topology graph.
+
+    Handlers are registered per node; :meth:`send` schedules delivery on
+    the kernel after the shortest-path latency.  Partitions and crashed
+    nodes silently drop messages, as real networks do -- protocols must
+    handle loss with timeouts and retries.
+    """
+
+    #: Fixed per-message processing overhead (serialization, queuing).
+    PER_MESSAGE_OVERHEAD_MS = 1.0
+
+    def __init__(self, kernel: Kernel, graph: nx.Graph) -> None:
+        self.kernel = kernel
+        self.graph = graph
+        self._handlers: dict[NodeId, list[Callable[[Message], None]]] = {}
+        self._down: set[NodeId] = set()
+        self._partitions: list[tuple[set[NodeId], set[NodeId]]] = []
+        self._latency_cache: dict[NodeId, dict[NodeId, float]] = {}
+        self._hops_cache: dict[NodeId, dict[NodeId, int]] = {}
+        self.stats_total_messages = 0
+        self.stats_total_bytes = 0
+        self.stats_dropped = 0
+        self.link_stats: dict[tuple[NodeId, NodeId], LinkStats] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def register(self, node: NodeId, handler: Callable[[Message], None]) -> None:
+        """Install ``handler`` as the node's sole message handler."""
+        if node not in self.graph:
+            raise KeyError(f"node {node} not in topology")
+        self._handlers[node] = [handler]
+
+    def subscribe(self, node: NodeId, handler: Callable[[Message], None]) -> None:
+        """Add an additional handler; every handler sees every message.
+
+        A single simulated host often runs several protocols (a primary
+        replica can also be a dissemination-tree root); each protocol
+        subscribes and ignores payload types it does not understand.
+        """
+        if node not in self.graph:
+            raise KeyError(f"node {node} not in topology")
+        self._handlers.setdefault(node, []).append(handler)
+
+    def unsubscribe(self, node: NodeId, handler: Callable[[Message], None]) -> None:
+        """Remove one subscribed handler, leaving co-hosted protocols."""
+        handlers = self._handlers.get(node)
+        if handlers and handler in handlers:
+            handlers.remove(handler)
+
+    def unregister(self, node: NodeId) -> None:
+        self._handlers.pop(node, None)
+
+    def nodes(self) -> Iterable[NodeId]:
+        return self.graph.nodes()
+
+    # -- failures ----------------------------------------------------------
+
+    def set_down(self, node: NodeId, down: bool = True) -> None:
+        """Crash (or revive) a node; messages to/from it are dropped."""
+        if down:
+            self._down.add(node)
+        else:
+            self._down.discard(node)
+
+    def is_down(self, node: NodeId) -> bool:
+        return node in self._down
+
+    def add_partition(self, side_a: set[NodeId], side_b: set[NodeId]) -> None:
+        """Drop all traffic between the two sides until healed."""
+        self._partitions.append((set(side_a), set(side_b)))
+
+    def heal_partitions(self) -> None:
+        self._partitions.clear()
+
+    def _partitioned(self, a: NodeId, b: NodeId) -> bool:
+        for side_a, side_b in self._partitions:
+            if (a in side_a and b in side_b) or (a in side_b and b in side_a):
+                return True
+        return False
+
+    # -- latency model -----------------------------------------------------
+
+    def latency_ms(self, src: NodeId, dst: NodeId) -> float:
+        """Shortest-path latency between two nodes (ms), cached."""
+        if src == dst:
+            return 0.0
+        if src not in self._latency_cache:
+            self._latency_cache[src] = nx.single_source_dijkstra_path_length(
+                self.graph, src, weight="latency_ms"
+            )
+        try:
+            return self._latency_cache[src][dst]
+        except KeyError:
+            raise ValueError(f"no path from {src} to {dst}") from None
+
+    def hop_count(self, src: NodeId, dst: NodeId) -> int:
+        """Shortest-path hop count (used as the Bloom-filter distance metric)."""
+        if src == dst:
+            return 0
+        if src not in self._hops_cache:
+            self._hops_cache[src] = nx.single_source_shortest_path_length(
+                self.graph, src
+            )
+        try:
+            return self._hops_cache[src][dst]
+        except KeyError:
+            raise ValueError(f"no path from {src} to {dst}") from None
+
+    def neighbors(self, node: NodeId) -> list[NodeId]:
+        return sorted(self.graph.neighbors(node))
+
+    # -- delivery ----------------------------------------------------------
+
+    def send(self, src: NodeId, dst: NodeId, payload: Any, size_bytes: int) -> None:
+        """Send a message; delivery is scheduled on the kernel.
+
+        Loss conditions (either endpoint down, partition, unregistered
+        destination) count in ``stats_dropped`` and deliver nothing.
+        """
+        message = Message(src, dst, payload, size_bytes)
+        self.stats_total_messages += 1
+        self.stats_total_bytes += size_bytes
+        key = (min(src, dst), max(src, dst))
+        link = self.link_stats.setdefault(key, LinkStats())
+        link.messages += 1
+        link.bytes += size_bytes
+
+        if src in self._down or dst in self._down or self._partitioned(src, dst):
+            self.stats_dropped += 1
+            return
+        delay = self.latency_ms(src, dst) + self.PER_MESSAGE_OVERHEAD_MS
+
+        def deliver() -> None:
+            if dst in self._down or self._partitioned(src, dst):
+                self.stats_dropped += 1
+                return
+            handlers = self._handlers.get(dst)
+            if not handlers:
+                self.stats_dropped += 1
+                return
+            for handler in list(handlers):
+                handler(message)
+
+        self.kernel.call_after(delay, deliver)

@@ -1,0 +1,107 @@
+"""Measurement helpers: counters, distributions, and time series.
+
+Benchmarks need summary statistics (means, percentiles) over measured
+latencies, hop counts, and byte totals.  ``numpy`` is available but the
+sample sizes here are modest, so a small pure-Python accumulator keeps the
+dependency surface of the simulation core thin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Distribution:
+    """Online accumulator for a sample distribution."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    def extend(self, values: list[float]) -> None:
+        self.samples.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("empty distribution")
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        var = sum((x - mu) ** 2 for x in self.samples) / (len(self.samples) - 1)
+        return math.sqrt(var)
+
+    @property
+    def min(self) -> float:
+        if not self.samples:
+            raise ValueError("empty distribution")
+        return min(self.samples)
+
+    @property
+    def max(self) -> float:
+        if not self.samples:
+            raise ValueError("empty distribution")
+        return max(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolation percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            raise ValueError("empty distribution")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+class Counter:
+    """Named integer counters with a compact report form."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def increment(self, name: str, by: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()

@@ -1,0 +1,17 @@
+"""Shared utilities: GUIDs, deterministic RNG streams, canonical encoding."""
+
+from repro.util.ids import DIGIT_BITS, GUID, GUID_BITS, GUID_DIGITS, secure_hash
+from repro.util.rng import SeedSequence
+from repro.util.serialization import decode, encode, encoded_size
+
+__all__ = [
+    "DIGIT_BITS",
+    "GUID",
+    "GUID_BITS",
+    "GUID_DIGITS",
+    "SeedSequence",
+    "decode",
+    "encode",
+    "encoded_size",
+    "secure_hash",
+]

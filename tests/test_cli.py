@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_demo(self, capsys):
+        assert main(["demo", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "write committed: True" in out
+        assert "archival restore" in out
+
+    def test_topology(self, capsys):
+        assert main(["topology", "--transit", "4", "--stubs", "2",
+                     "--nodes-per-stub", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "servers: 36" in out
+        assert "inner ring" in out
+
+    def test_reliability(self, capsys):
+        assert main(["reliability", "--machines", "100000"]) == 0
+        out = capsys.readouterr().out
+        assert "2x replication" in out
+        assert "nines" in out
+
+    def test_costmodel(self, capsys):
+        assert main(["costmodel", "-m", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "n=13 replicas" in out
+        assert "normalized cost" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

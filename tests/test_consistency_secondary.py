@@ -1,0 +1,259 @@
+"""Tests for dissemination trees, the epidemic secondary tier, and
+optimistic timestamps."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.consistency import (
+    DisseminationTree,
+    OptimisticTimestamp,
+    SecondaryTier,
+    TreeError,
+    order_agreement,
+    tentative_order,
+)
+from repro.crypto import make_principal
+from repro.data import AppendBlock, TruePredicate, UpdateBranch, make_update
+from repro.naming import object_guid
+from repro.sim import Kernel, Network
+
+
+@pytest.fixture(scope="module")
+def author():
+    return make_principal("author", random.Random(88), bits=256)
+
+
+def make_net(n=12, latency=20.0):
+    kernel = Kernel()
+    graph = nx.complete_graph(n)
+    nx.set_edge_attributes(graph, latency, "latency_ms")
+    return kernel, Network(kernel, graph)
+
+
+def obj_guid(author, name="shared"):
+    return object_guid(author.public_key, name)
+
+
+def make_up(author, payload, ts, name="shared"):
+    return make_update(
+        author,
+        obj_guid(author, name),
+        [UpdateBranch(TruePredicate(), (AppendBlock(payload),))],
+        ts,
+    )
+
+
+class TestTimestamps:
+    def test_total_order(self, author):
+        ups = [make_up(author, b"a", 3.0), make_up(author, b"b", 1.0), make_up(author, b"c", 2.0)]
+        ordered = tentative_order(ups)
+        assert [u.timestamp for u in ordered] == [1.0, 2.0, 3.0]
+
+    def test_tie_broken_deterministically(self, author):
+        ups = [make_up(author, b"a", 1.0), make_up(author, b"b", 1.0)]
+        assert tentative_order(ups) == tentative_order(reversed(ups))
+
+    def test_timestamp_ordering(self):
+        a = OptimisticTimestamp(1.0, b"a")
+        b = OptimisticTimestamp(1.0, b"b")
+        c = OptimisticTimestamp(2.0, b"a")
+        assert a < b < c
+
+    def test_order_agreement_perfect(self, author):
+        ups = [make_up(author, bytes([i]), float(i)) for i in range(4)]
+        assert order_agreement(ups, ups) == 1.0
+
+    def test_order_agreement_reversed(self, author):
+        ups = [make_up(author, bytes([i]), float(i)) for i in range(4)]
+        assert order_agreement(ups, list(reversed(ups))) == 0.0
+
+    def test_order_agreement_partial(self, author):
+        ups = [make_up(author, bytes([i]), float(i)) for i in range(3)]
+        swapped = [ups[1], ups[0], ups[2]]
+        assert order_agreement(ups, swapped) == pytest.approx(2 / 3)
+
+    def test_order_agreement_trivial(self, author):
+        assert order_agreement([], []) == 1.0
+
+
+class TestDisseminationTree:
+    def test_members_attach_to_closest(self):
+        kernel = Kernel()
+        graph = nx.Graph()
+        # root(0) -- 10ms -- 1 -- 10ms -- 2 ; 0 -- 100ms -- 3
+        graph.add_edge(0, 1, latency_ms=10.0)
+        graph.add_edge(1, 2, latency_ms=10.0)
+        graph.add_edge(0, 3, latency_ms=100.0)
+        network = Network(kernel, graph)
+        tree = DisseminationTree(network, root=0, max_fanout=2)
+        assert tree.add_member(1) == 0
+        assert tree.add_member(2) == 1  # closer to 1 than to 0
+        assert tree.add_member(3) == 0
+
+    def test_fanout_respected(self):
+        kernel, network = make_net(6)
+        tree = DisseminationTree(network, root=0, max_fanout=2)
+        for node in range(1, 6):
+            tree.add_member(node)
+        assert all(len(tree.children(m)) <= 2 for m in tree.members)
+
+    def test_duplicate_member_rejected(self):
+        kernel, network = make_net(3)
+        tree = DisseminationTree(network, root=0)
+        tree.add_member(1)
+        with pytest.raises(TreeError):
+            tree.add_member(1)
+
+    def test_depth(self):
+        kernel, network = make_net(8)
+        tree = DisseminationTree(network, root=0, max_fanout=1)
+        for node in range(1, 5):
+            tree.add_member(node)
+        depths = sorted(tree.depth(m) for m in tree.members)
+        assert depths == [0, 1, 2, 3, 4]  # a chain under fanout 1
+
+    def test_remove_reattaches_orphans(self):
+        kernel, network = make_net(8)
+        tree = DisseminationTree(network, root=0, max_fanout=2)
+        for node in range(1, 7):
+            tree.add_member(node)
+        victim = tree.children(0)[0]
+        orphans = tree.children(victim)
+        tree.remove_member(victim)
+        assert victim not in tree.members
+        for orphan in orphans:
+            assert orphan in tree.members
+            assert tree.parent(orphan) is not None
+
+    def test_cannot_remove_root(self):
+        kernel, network = make_net(3)
+        tree = DisseminationTree(network, root=0)
+        with pytest.raises(TreeError):
+            tree.remove_member(0)
+
+    def test_invalid_fanout(self):
+        kernel, network = make_net(3)
+        with pytest.raises(TreeError):
+            DisseminationTree(network, root=0, max_fanout=0)
+
+
+class TestSecondaryTier:
+    def make_tier(self, author, n_replicas=6, seed=0, low_bandwidth=()):
+        kernel, network = make_net(n_replicas + 2)
+        rng = random.Random(seed)
+        tier = SecondaryTier(network, obj_guid(author), root_contact=0, rng=rng)
+        for node in range(1, n_replicas + 1):
+            tier.add_replica(node, low_bandwidth=node in low_bandwidth)
+        client = n_replicas + 1
+        return kernel, network, tier, client
+
+    def test_committed_push_reaches_all(self, author):
+        kernel, network, tier, client = self.make_tier(author)
+        update = make_up(author, b"v1", 1.0)
+        tier.push_committed(0, update)
+        kernel.run(until=10_000.0)
+        assert tier.consistent_fraction() == 1.0
+        for replica in tier.replicas.values():
+            assert replica.committed_through == 0
+            assert replica.committed_state.version == 1
+
+    def test_out_of_order_commits_buffer(self, author):
+        kernel, network, tier, client = self.make_tier(author)
+        u0, u1 = make_up(author, b"a", 1.0), make_up(author, b"b", 2.0)
+        replica = next(iter(tier.replicas.values()))
+        replica.apply_committed(1, u1)
+        assert replica.committed_through == -1  # waiting for seq 0
+        replica.apply_committed(0, u0)
+        assert replica.committed_through == 1
+        assert replica.committed_state.data.logical_ciphertext() == [b"a", b"b"]
+
+    def test_tentative_epidemic_spread(self, author):
+        kernel, network, tier, client = self.make_tier(author)
+        update = make_up(author, b"tentative", 5.0)
+        tier.submit_tentative(client, update, fanout=1)
+        kernel.run(until=200.0)
+        infected = sum(
+            1 for r in tier.replicas.values() if update.update_id in r.tentative
+        )
+        assert infected >= 1
+        for _ in range(4):
+            tier.epidemic_round()
+            kernel.run(until=kernel.now + 500.0)
+        assert tier.tentative_agreement() == 1.0
+        assert all(update.update_id in r.tentative for r in tier.replicas.values())
+
+    def test_tentative_state_applies_timestamp_order(self, author):
+        kernel, network, tier, client = self.make_tier(author)
+        late = make_up(author, b"late", 10.0)
+        early = make_up(author, b"early", 1.0)
+        replica = next(iter(tier.replicas.values()))
+        replica.add_tentative(late)
+        replica.add_tentative(early)
+        state = replica.tentative_state()
+        assert state.data.logical_ciphertext() == [b"early", b"late"]
+
+    def test_commit_retires_tentative(self, author):
+        kernel, network, tier, client = self.make_tier(author)
+        update = make_up(author, b"x", 1.0)
+        replica = next(iter(tier.replicas.values()))
+        replica.add_tentative(update)
+        replica.apply_committed(0, update)
+        assert update.update_id not in replica.tentative
+        assert replica.committed_through == 0
+
+    def test_forged_tentative_rejected(self, author):
+        from dataclasses import replace
+
+        kernel, network, tier, client = self.make_tier(author)
+        genuine = make_up(author, b"x", 1.0)
+        forged = replace(genuine, signature=b"\x01" * 32)
+        replica = next(iter(tier.replicas.values()))
+        replica.add_tentative(forged)
+        assert forged.update_id not in replica.tentative
+
+    def test_low_bandwidth_gets_invalidation(self, author):
+        kernel, network, tier, client = self.make_tier(author, low_bandwidth={3})
+        update = make_up(author, b"big-payload" * 100, 1.0)
+        tier.push_committed(0, update)
+        kernel.run(until=10_000.0)
+        lb_replica = tier.replicas[3]
+        assert lb_replica.is_stale
+        assert lb_replica.committed_through == -1
+        # Everyone else has the bytes.
+        others = [r for nid, r in tier.replicas.items() if nid != 3 and not r.is_stale]
+        assert others
+
+    def test_pull_missing_after_invalidation(self, author):
+        kernel, network, tier, client = self.make_tier(author, low_bandwidth={3})
+        update = make_up(author, b"payload", 1.0)
+        tier.push_committed(0, update)
+        kernel.run(until=10_000.0)
+        lb_replica = tier.replicas[3]
+        assert lb_replica.is_stale
+        lb_replica.pull_missing()
+        kernel.run(until=20_000.0)
+        assert not lb_replica.is_stale
+        assert lb_replica.committed_through == 0
+
+    def test_anti_entropy_catches_up_committed(self, author):
+        kernel, network, tier, client = self.make_tier(author)
+        update = make_up(author, b"x", 1.0)
+        ids = sorted(tier.replicas)
+        # Only one replica has the committed update.
+        tier.replicas[ids[0]].apply_committed(0, update)
+        # A behind replica anti-entropies with it.
+        tier.replicas[ids[1]].start_anti_entropy(ids[0])
+        kernel.run(until=1_000.0)
+        assert tier.replicas[ids[1]].committed_through == 0
+
+    def test_remove_replica(self, author):
+        kernel, network, tier, client = self.make_tier(author)
+        victim = sorted(tier.replicas)[2]
+        tier.remove_replica(victim)
+        assert victim not in tier.replicas
+        update = make_up(author, b"x", 1.0)
+        tier.push_committed(0, update)
+        kernel.run(until=10_000.0)
+        assert tier.consistent_fraction() == 1.0

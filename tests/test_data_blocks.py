@@ -1,0 +1,196 @@
+"""Tests for the ciphertext block structure (Figure 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    BlockStructureError,
+    CipherObject,
+    DataBlock,
+    IndexBlock,
+)
+
+
+def make_object(payloads):
+    obj = CipherObject()
+    for p in payloads:
+        obj.append(p)
+    return obj
+
+
+class TestAppendReplace:
+    def test_append_order(self):
+        obj = make_object([b"a", b"b", b"c"])
+        assert obj.logical_ciphertext() == [b"a", b"b", b"c"]
+
+    def test_append_returns_sequential_ids(self):
+        obj = CipherObject()
+        assert obj.append(b"a") == 0
+        assert obj.append(b"b") == 1
+
+    def test_replace(self):
+        obj = make_object([b"a", b"b"])
+        obj.replace(0, b"A")
+        assert obj.logical_ciphertext() == [b"A", b"b"]
+
+    def test_replace_allocates_new_id(self):
+        obj = make_object([b"a"])
+        new_id = obj.replace(0, b"A")
+        assert new_id == 1
+        assert obj.slots == [1]
+
+    def test_replace_bad_slot(self):
+        obj = make_object([b"a"])
+        with pytest.raises(BlockStructureError):
+            obj.replace(1, b"x")
+
+
+class TestInsertDelete:
+    def test_paper_figure4_insert(self):
+        # Figure 4: blocks 41, 42, 43; insert 41.5 before 42.
+        obj = make_object([b"41", b"42", b"43"])
+        new_id, displaced_id, index_id = obj.insert(1, b"41.5")
+        assert obj.logical_ciphertext() == [b"41", b"41.5", b"42", b"43"]
+        # The displaced block kept its identity (no re-encryption).
+        assert displaced_id == 1
+        assert isinstance(obj.blocks[index_id], IndexBlock)
+        assert obj.blocks[index_id].children == (new_id, displaced_id)
+
+    def test_insert_at_front(self):
+        obj = make_object([b"b"])
+        obj.insert(0, b"a")
+        assert obj.logical_ciphertext() == [b"a", b"b"]
+
+    def test_nested_inserts(self):
+        obj = make_object([b"a", b"d"])
+        obj.insert(1, b"b")  # a b d
+        obj.insert(1, b"c")  # slot 1 is now the index block; insert before it
+        assert obj.logical_ciphertext() == [b"a", b"c", b"b", b"d"]
+
+    def test_delete(self):
+        obj = make_object([b"a", b"b", b"c"])
+        obj.delete(1)
+        assert obj.logical_ciphertext() == [b"a", b"c"]
+
+    def test_delete_then_length(self):
+        obj = make_object([b"a", b"b"])
+        obj.delete(0)
+        assert obj.logical_length == 1
+
+    def test_delete_bad_slot(self):
+        obj = make_object([])
+        with pytest.raises(BlockStructureError):
+            obj.delete(0)
+
+    def test_insert_into_empty_fails(self):
+        obj = CipherObject()
+        with pytest.raises(BlockStructureError):
+            obj.insert(0, b"x")
+
+
+class TestTraversal:
+    def test_logical_blocks_yield_ids(self):
+        obj = make_object([b"a", b"b"])
+        pairs = list(obj.logical_blocks())
+        assert pairs == [(0, DataBlock(b"a")), (1, DataBlock(b"b"))]
+
+    def test_block_at_logical(self):
+        obj = make_object([b"a", b"b", b"c"])
+        obj.insert(1, b"a2")
+        block_id, block = obj.block_at_logical(1)
+        assert block.ciphertext == b"a2"
+
+    def test_block_at_logical_out_of_range(self):
+        obj = make_object([b"a"])
+        with pytest.raises(BlockStructureError):
+            obj.block_at_logical(5)
+
+    def test_dangling_pointer_detected(self):
+        obj = make_object([b"a"])
+        obj.blocks[99] = IndexBlock(children=(12345,))
+        obj.slots.append(99)
+        with pytest.raises(BlockStructureError):
+            list(obj.logical_blocks())
+
+    def test_cycle_detected(self):
+        obj = CipherObject()
+        obj.blocks[0] = IndexBlock(children=(1,))
+        obj.blocks[1] = IndexBlock(children=(0,))
+        obj.slots = [0]
+        obj.next_block_id = 2
+        with pytest.raises(BlockStructureError):
+            list(obj.logical_blocks())
+
+    def test_size_bytes(self):
+        obj = make_object([b"abc", b"de"])
+        assert obj.size_bytes() == 5
+        obj.delete(0)
+        assert obj.size_bytes() == 2
+
+
+class TestCopy:
+    def test_copy_independent_slots(self):
+        obj = make_object([b"a"])
+        snapshot = obj.copy()
+        obj.append(b"b")
+        assert snapshot.logical_ciphertext() == [b"a"]
+        assert obj.logical_ciphertext() == [b"a", b"b"]
+
+    def test_copy_preserves_next_id(self):
+        obj = make_object([b"a", b"b"])
+        assert obj.copy().next_block_id == obj.next_block_id
+
+
+@st.composite
+def edit_scripts(draw):
+    """Random edit scripts: list of (op, payload) applied sequentially."""
+    ops = []
+    length = 1  # we start with one appended block
+    n_ops = draw(st.integers(min_value=0, max_value=12))
+    for i in range(n_ops):
+        kind = draw(st.sampled_from(["append", "insert", "delete", "replace"]))
+        if kind == "append":
+            ops.append(("append", i, None))
+            length += 1
+        elif length > 0:
+            slot = draw(st.integers(min_value=0, max_value=length - 1))
+            ops.append((kind, i, slot))
+    return ops
+
+
+class TestEditScriptProperty:
+    @given(edit_scripts())
+    @settings(max_examples=60)
+    def test_matches_reference_list_model(self, script):
+        """The ciphertext block structure behaves like a plain list.
+
+        We mirror every operation on a reference Python list of payloads
+        over *top-level slots*; insert/delete through pointer indirection
+        must preserve the same logical sequence.
+        """
+        obj = CipherObject()
+        obj.append(b"base")
+        reference = [[b"base"]]  # one logical group per top-level slot
+        for kind, i, slot in script:
+            payload = f"p{i}".encode()
+            if kind == "append":
+                obj.append(payload)
+                reference.append([payload])
+            elif kind == "insert":
+                if not obj.slots:
+                    continue
+                obj.insert(slot, payload)
+                reference[slot] = [payload] + reference[slot]
+            elif kind == "delete":
+                if not obj.slots:
+                    continue
+                obj.delete(slot)
+                reference[slot] = []
+            elif kind == "replace":
+                if not obj.slots:
+                    continue
+                obj.replace(slot, payload)
+                reference[slot] = [payload]
+        expected = [p for group in reference for p in group]
+        assert obj.logical_ciphertext() == expected

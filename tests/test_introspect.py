@@ -1,0 +1,405 @@
+"""Tests for the introspection subsystem."""
+
+import random
+
+import pytest
+
+from repro.introspect import (
+    Average,
+    BinOp,
+    Const,
+    Count,
+    DecisionKind,
+    Event,
+    Field,
+    Filter,
+    HandlerProgram,
+    IntrospectionNode,
+    MapTo,
+    MarkovPrefetcher,
+    Not,
+    Rate,
+    ReplicaManager,
+    ResourceLimits,
+    SemanticDistanceGraph,
+    SummaryDatabase,
+    Threshold,
+    VerificationError,
+    build_hierarchy,
+    cluster_of,
+    detect_clusters,
+    evaluate,
+    evaluate_prefetcher,
+    verify_program,
+)
+from repro.introspect.dsl import BoolOp, CompiledHandler
+from repro.util import GUID
+
+
+def ev(kind="access", node=1, t=0.0, **attrs):
+    return Event(kind=kind, node=node, time_ms=t, attributes=attrs)
+
+
+class TestExpressions:
+    def test_field_access(self):
+        assert evaluate(Field("kind"), ev(kind="load")) == "load"
+        assert evaluate(Field("latency"), ev(latency=42)) == 42
+        assert evaluate(Field("missing"), ev()) is None
+
+    def test_arithmetic(self):
+        expr = BinOp("+", Field("a"), Const(10))
+        assert evaluate(expr, ev(a=5)) == 15
+
+    def test_division_by_zero_safe(self):
+        expr = BinOp("/", Const(10), Const(0))
+        assert evaluate(expr, ev()) == 0.0
+
+    def test_comparison_and_bool(self):
+        expr = BoolOp(
+            "and",
+            BinOp(">", Field("x"), Const(1)),
+            Not(BinOp("==", Field("kind"), Const("noise"))),
+        )
+        assert evaluate(expr, ev(kind="access", x=5)) is True
+        assert evaluate(expr, ev(kind="noise", x=5)) is False
+
+    def test_type_error_yields_none(self):
+        expr = BinOp("+", Field("kind"), Const(1))  # str + int
+        assert evaluate(expr, ev()) is None
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(VerificationError):
+            evaluate(BinOp("**", Const(2), Const(3)), ev())
+
+
+class TestVerification:
+    def test_valid_program_passes(self):
+        program = HandlerProgram(
+            "latency-avg",
+            [
+                Filter(BinOp("==", Field("kind"), Const("access"))),
+                MapTo(Field("latency")),
+                Average(window=10),
+            ],
+        )
+        verify_program(program)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(VerificationError):
+            verify_program(HandlerProgram("empty", []))
+
+    def test_too_many_stages_rejected(self):
+        program = HandlerProgram("big", [Count() for _ in range(20)])
+        with pytest.raises(VerificationError):
+            verify_program(program)
+
+    def test_oversized_expression_rejected(self):
+        expr = Field("x")
+        for _ in range(40):
+            expr = BinOp("+", expr, Const(1))
+        with pytest.raises(VerificationError):
+            verify_program(HandlerProgram("deep", [MapTo(expr)]))
+
+    def test_oversized_window_rejected(self):
+        with pytest.raises(VerificationError):
+            verify_program(HandlerProgram("w", [Average(window=10_000)]))
+
+    def test_arbitrary_callable_not_a_stage(self):
+        with pytest.raises(VerificationError):
+            verify_program(HandlerProgram("evil", [lambda e: e]))
+
+    def test_limits_configurable(self):
+        program = HandlerProgram("tiny", [Count(), Count()])
+        with pytest.raises(VerificationError):
+            verify_program(program, ResourceLimits(max_stages=1))
+
+
+class TestCompiledHandlers:
+    def test_filter_map_average(self):
+        program = HandlerProgram(
+            "avg",
+            [
+                Filter(BinOp("==", Field("kind"), Const("access"))),
+                MapTo(Field("latency")),
+                Average(window=2),
+            ],
+        )
+        handler = CompiledHandler(program)
+        assert handler(ev(kind="other", latency=100)) is None
+        assert handler(ev(latency=10)) == 10.0
+        assert handler(ev(latency=20)) == 15.0
+        assert handler(ev(latency=40)) == 30.0  # window slid
+
+    def test_count(self):
+        handler = CompiledHandler(HandlerProgram("count", [Count()]))
+        assert handler(ev()) == 1
+        assert handler(ev()) == 2
+
+    def test_rate(self):
+        handler = CompiledHandler(HandlerProgram("rate", [Rate(window_ms=100.0)]))
+        assert handler(ev(t=0.0)) == pytest.approx(0.01)
+        assert handler(ev(t=50.0)) == pytest.approx(0.02)
+        assert handler(ev(t=200.0)) == pytest.approx(0.01)  # old ones expired
+
+    def test_threshold(self):
+        program = HandlerProgram("hot", [Count(), Threshold(minimum=3)])
+        handler = CompiledHandler(program)
+        assert handler(ev()) is None
+        assert handler(ev()) is None
+        assert handler(ev()) == 3
+
+
+class TestSummaryDatabase:
+    def test_put_get(self):
+        db = SummaryDatabase()
+        db.put("k", 42, now_ms=0.0)
+        assert db.get("k", now_ms=1000.0) == 42
+
+    def test_expiry(self):
+        db = SummaryDatabase()
+        db.put("k", 42, now_ms=0.0, ttl_ms=100.0)
+        assert db.get("k", now_ms=50.0) == 42
+        assert db.get("k", now_ms=150.0) is None
+
+    def test_sweep(self):
+        db = SummaryDatabase()
+        db.put("a", 1, now_ms=0.0, ttl_ms=10.0)
+        db.put("b", 2, now_ms=0.0, ttl_ms=10_000.0)
+        assert db.sweep(now_ms=100.0) == 1
+        assert len(db) == 1
+
+    def test_items_excludes_expired(self):
+        db = SummaryDatabase()
+        db.put("a", 1, now_ms=0.0, ttl_ms=10.0)
+        db.put("b", 2, now_ms=0.0, ttl_ms=10_000.0)
+        assert dict(db.items(now_ms=100.0)) == {"b": 2}
+
+
+class TestHierarchy:
+    def test_handler_writes_database(self):
+        node = IntrospectionNode(node_id=1)
+        node.install_handler(
+            HandlerProgram("count", [Count()])
+        )
+        node.observe(ev(t=5.0))
+        assert node.database.get("count", now_ms=5.0) == 1
+
+    def test_analysis_runs_over_database(self):
+        node = IntrospectionNode(node_id=1)
+        node.install_handler(HandlerProgram("count", [Count()]))
+        node.observe(ev(t=1.0))
+        node.observe(ev(t=2.0))
+
+        def double(db, now):
+            count = db.get("count", now) or 0
+            return {"count-doubled": count * 2}
+
+        node.install_analysis(double)
+        produced = node.run_analyses(now_ms=3.0)
+        assert produced == {"count-doubled": 4}
+        assert node.database.get("count-doubled", 3.0) == 4
+
+    def test_forwarding_to_parent(self):
+        parent = IntrospectionNode(node_id=0)
+        child = IntrospectionNode(node_id=1)
+        child.parent = parent
+        child.install_handler(HandlerProgram("count", [Count()]))
+        child.observe(ev(t=1.0))
+        sent = child.forward_summaries(now_ms=2.0)
+        assert len(sent) == 1
+        assert parent.database.get("child:1:count", 2.0) == 1
+
+    def test_root_forwards_nowhere(self):
+        node = IntrospectionNode(node_id=0)
+        assert node.forward_summaries(now_ms=0.0) == []
+
+    def test_build_hierarchy_shape(self):
+        nodes = [IntrospectionNode(node_id=i) for i in range(10)]
+        root = build_hierarchy(nodes, fanout=3)
+        assert root.node_id == 0
+        assert root.parent is None
+        assert all(n.parent is not None for n in nodes if n is not root)
+        children_counts = {}
+        for n in nodes:
+            if n.parent is not None:
+                children_counts[n.parent.node_id] = (
+                    children_counts.get(n.parent.node_id, 0) + 1
+                )
+        assert all(c <= 3 for c in children_counts.values())
+
+    def test_build_hierarchy_validation(self):
+        with pytest.raises(ValueError):
+            build_hierarchy([])
+        with pytest.raises(ValueError):
+            build_hierarchy([IntrospectionNode(node_id=0)], fanout=0)
+
+
+class TestClustering:
+    def g(self, i):
+        return GUID.hash_of(f"obj-{i}".encode())
+
+    def test_coaccess_builds_edges(self):
+        graph = SemanticDistanceGraph(window=3)
+        graph.record_access(self.g(1))
+        graph.record_access(self.g(2))
+        assert graph.weight(self.g(1), self.g(2)) > 0
+
+    def test_repeated_coaccess_strengthens(self):
+        graph = SemanticDistanceGraph(window=2)
+        for _ in range(5):
+            graph.record_access(self.g(1))
+            graph.record_access(self.g(2))
+        strong = graph.weight(self.g(1), self.g(2))
+        graph.record_access(self.g(3))
+        assert strong > graph.weight(self.g(2), self.g(3))
+
+    def test_detect_clusters(self):
+        graph = SemanticDistanceGraph(window=2)
+        # Two independent pairs accessed together repeatedly.
+        for _ in range(5):
+            graph.record_access(self.g(1))
+            graph.record_access(self.g(2))
+        for _ in range(5):
+            graph.record_access(self.g(8))
+            graph.record_access(self.g(9))
+        clusters = detect_clusters(graph, min_weight=2.0)
+        member_sets = {frozenset(c.members) for c in clusters}
+        assert frozenset({self.g(1), self.g(2)}) in member_sets
+        assert frozenset({self.g(8), self.g(9)}) in member_sets
+
+    def test_weak_edges_ignored(self):
+        graph = SemanticDistanceGraph(window=2)
+        graph.record_access(self.g(1))
+        graph.record_access(self.g(2))
+        assert detect_clusters(graph, min_weight=5.0) == []
+
+    def test_decay(self):
+        graph = SemanticDistanceGraph(window=2)
+        graph.record_access(self.g(1))
+        graph.record_access(self.g(2))
+        before = graph.weight(self.g(1), self.g(2))
+        graph.decay(0.5)
+        assert graph.weight(self.g(1), self.g(2)) == pytest.approx(before / 2)
+
+    def test_cluster_of(self):
+        graph = SemanticDistanceGraph(window=2)
+        for _ in range(5):
+            graph.record_access(self.g(1))
+            graph.record_access(self.g(2))
+        clusters = detect_clusters(graph, min_weight=2.0)
+        assert cluster_of(clusters, self.g(1)) is not None
+        assert cluster_of(clusters, self.g(99)) is None
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SemanticDistanceGraph(window=0)
+
+
+class TestPrefetcher:
+    def g(self, i):
+        return GUID.hash_of(f"file-{i}".encode())
+
+    def test_first_order_pattern(self):
+        p = MarkovPrefetcher(max_order=2)
+        seq = [self.g(1), self.g(2)] * 10
+        p.record_sequence(seq)
+        # History ends at g2; next should be g1.
+        assert p.predict()[0] == self.g(1)
+
+    def test_high_order_correlation(self):
+        # A,B -> C but X,B -> D: only order-2 context disambiguates.
+        p = MarkovPrefetcher(max_order=2)
+        pattern = [self.g(10), self.g(2), self.g(3), self.g(20), self.g(2), self.g(4)]
+        p.record_sequence(pattern * 10)
+        p.reset_history()
+        p.record_access(self.g(10))
+        p.record_access(self.g(2))
+        assert p.predict()[0] == self.g(3)
+        p.reset_history()
+        p.record_access(self.g(20))
+        p.record_access(self.g(2))
+        assert p.predict()[0] == self.g(4)
+
+    def test_noise_tolerance(self):
+        rng = random.Random(0)
+        pattern = [self.g(i) for i in (1, 2, 3, 4)]
+        trace = []
+        for _ in range(200):
+            trace.extend(pattern)
+            if rng.random() < 0.3:
+                trace.append(self.g(100 + rng.randrange(50)))  # noise
+        p = MarkovPrefetcher(max_order=3)
+        stats = evaluate_prefetcher(p, trace, train_fraction=0.5, prefetch_count=2)
+        assert stats.hit_rate > 0.6
+
+    def test_empty_history_no_predictions(self):
+        p = MarkovPrefetcher()
+        assert p.predict() == []
+        assert p.confidence() == 0.0
+
+    def test_confidence_deterministic_pattern(self):
+        p = MarkovPrefetcher(max_order=2)
+        p.record_sequence([self.g(1), self.g(2)] * 20)
+        assert p.confidence() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovPrefetcher(max_order=0)
+        with pytest.raises(ValueError):
+            MarkovPrefetcher().predict(count=0)
+        with pytest.raises(ValueError):
+            evaluate_prefetcher(MarkovPrefetcher(), [], train_fraction=1.5)
+
+
+class TestReplicaManager:
+    def g(self, i):
+        return GUID.hash_of(f"obj-{i}".encode())
+
+    def test_overload_creates_replica(self):
+        mgr = ReplicaManager(window_ms=1000.0, overload_requests=5, disuse_requests=1)
+        for i in range(6):
+            mgr.record_request(self.g(1), replica_node=7, client=3, now_ms=float(i))
+        decisions = mgr.evaluate(now_ms=10.0)
+        assert len(decisions) == 1
+        d = decisions[0]
+        assert d.kind is DecisionKind.CREATE
+        assert d.target_node == 3  # near the hot client
+
+    def test_disuse_eliminates_extra_replica(self):
+        mgr = ReplicaManager(window_ms=100.0, overload_requests=50, disuse_requests=1)
+        mgr.register_replica(self.g(1), replica_node=7)
+        mgr.register_replica(self.g(1), replica_node=8)
+        mgr.record_request(self.g(1), replica_node=7, client=2, now_ms=0.0)
+        decisions = mgr.evaluate(now_ms=500.0)  # all requests aged out
+        eliminate = [d for d in decisions if d.kind is DecisionKind.ELIMINATE]
+        assert len(eliminate) == 2  # both idle, both have a sibling
+
+    def test_sole_replica_never_eliminated(self):
+        mgr = ReplicaManager(window_ms=100.0, overload_requests=50, disuse_requests=1)
+        mgr.register_replica(self.g(1), replica_node=7)
+        assert mgr.evaluate(now_ms=500.0) == []
+
+    def test_window_slides(self):
+        mgr = ReplicaManager(window_ms=100.0, overload_requests=5, disuse_requests=1)
+        for i in range(6):
+            mgr.record_request(self.g(1), 7, client=2, now_ms=float(i))
+        assert mgr.request_rate(self.g(1), 7, now_ms=50.0) == 6
+        assert mgr.request_rate(self.g(1), 7, now_ms=500.0) == 0
+
+    def test_pick_nearby_hook(self):
+        mgr = ReplicaManager(
+            window_ms=1000.0,
+            overload_requests=2,
+            disuse_requests=1,
+            pick_nearby=lambda client: client + 100,
+        )
+        mgr.record_request(self.g(1), 7, client=3, now_ms=0.0)
+        mgr.record_request(self.g(1), 7, client=3, now_ms=1.0)
+        decisions = mgr.evaluate(now_ms=2.0)
+        assert decisions[0].target_node == 103
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaManager(window_ms=0.0)
+        with pytest.raises(ValueError):
+            ReplicaManager(overload_requests=1, disuse_requests=1)

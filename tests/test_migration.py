@@ -1,0 +1,137 @@
+"""Tests for periodic-migration detection and prefetch planning."""
+
+import random
+
+import pytest
+
+from repro.core.workloads import diurnal_trace
+from repro.introspect import (
+    MigrationDetector,
+    SiteAccess,
+    plan_prefetch,
+)
+from repro.util import GUID
+
+DAY = 86_400_000.0
+
+
+def make_accesses(days=3, per_period=20, jitter=0.0, rng=None):
+    """Clean work-by-day / home-by-night accesses."""
+    rng = rng or random.Random(0)
+    obj = GUID.hash_of(b"project")
+    accesses = []
+    for day in range(days):
+        base = day * DAY
+        for i in range(per_period):
+            t = base + (i + 0.5) * (DAY / 2) / per_period
+            t += rng.uniform(-jitter, jitter)
+            accesses.append(SiteAccess(obj, "work", t))
+        for i in range(per_period):
+            t = base + DAY / 2 + (i + 0.5) * (DAY / 2) / per_period
+            t += rng.uniform(-jitter, jitter)
+            accesses.append(SiteAccess(obj, "home", t))
+    return accesses
+
+
+class TestDetection:
+    def test_detects_clean_cycle(self):
+        detector = MigrationDetector(period_ms=DAY, bins=24)
+        detector.observe_all(make_accesses())
+        cycle = detector.detect()
+        assert cycle is not None
+        assert set(cycle.site_phases) == {"work", "home"}
+
+    def test_cycle_predicts_sites(self):
+        detector = MigrationDetector(period_ms=DAY, bins=24)
+        detector.observe_all(make_accesses())
+        cycle = detector.detect()
+        assert cycle.site_at(0.25 * DAY) == "work"
+        assert cycle.site_at(0.75 * DAY) == "home"
+        # Periodicity: day 5 looks like day 0.
+        assert cycle.site_at(5 * DAY + 0.25 * DAY) == "work"
+
+    def test_insufficient_data(self):
+        detector = MigrationDetector(period_ms=DAY, min_observations=20)
+        detector.observe(SiteAccess(GUID.hash_of(b"x"), "work", 0.0))
+        assert detector.detect() is None
+
+    def test_single_period_insufficient(self):
+        detector = MigrationDetector(period_ms=DAY)
+        # Only half a day of data: span too short to claim periodicity.
+        accesses = [
+            a for a in make_accesses(days=1) if a.time_ms < 0.4 * DAY
+        ]
+        detector.observe_all(accesses)
+        assert detector.detect() is None
+
+    def test_impure_bins_rejected(self):
+        rng = random.Random(1)
+        detector = MigrationDetector(period_ms=DAY, bins=12, min_purity=0.9)
+        obj = GUID.hash_of(b"chaotic")
+        # Sites access uniformly at random: no cycle exists.
+        for i in range(200):
+            site = rng.choice(["work", "home"])
+            detector.observe(SiteAccess(obj, site, rng.uniform(0, 3 * DAY)))
+        assert detector.detect() is None
+
+    def test_one_site_is_not_migration(self):
+        detector = MigrationDetector(period_ms=DAY)
+        obj = GUID.hash_of(b"sedentary")
+        for i in range(100):
+            detector.observe(SiteAccess(obj, "work", i * DAY / 30))
+        assert detector.detect() is None
+
+    def test_tolerates_jitter(self):
+        detector = MigrationDetector(period_ms=DAY, bins=12, min_purity=0.75)
+        detector.observe_all(
+            make_accesses(days=4, jitter=DAY / 60, rng=random.Random(2))
+        )
+        assert detector.detect() is not None
+
+    def test_works_with_workload_generator(self):
+        trace = diurnal_trace(3, 3, 25, random.Random(3))
+        detector = MigrationDetector(period_ms=DAY, bins=12)
+        detector.observe_all(
+            [SiteAccess(a.object_guid, a.site, a.time_ms) for a in trace]
+        )
+        cycle = detector.detect()
+        assert cycle is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MigrationDetector(period_ms=0)
+        with pytest.raises(ValueError):
+            MigrationDetector(bins=1)
+        with pytest.raises(ValueError):
+            MigrationDetector(min_purity=0.4)
+
+
+class TestPrefetchPlanning:
+    def make_cycle(self):
+        detector = MigrationDetector(period_ms=DAY, bins=24)
+        detector.observe_all(make_accesses())
+        return detector.detect()
+
+    def test_plan_before_transition(self):
+        cycle = self.make_cycle()
+        # Shortly before the work->home handoff at half-day.
+        now = 0.49 * DAY
+        plan = plan_prefetch(cycle, now, lead_ms=0.05 * DAY)
+        assert plan is not None
+        assert plan.site == "home"
+
+    def test_no_plan_mid_phase(self):
+        cycle = self.make_cycle()
+        plan = plan_prefetch(cycle, 0.2 * DAY, lead_ms=0.01 * DAY)
+        assert plan is None
+
+    def test_plan_wraps_around_midnight(self):
+        cycle = self.make_cycle()
+        now = 0.99 * DAY  # just before the home->work wrap
+        plan = plan_prefetch(cycle, now, lead_ms=0.05 * DAY)
+        assert plan is not None and plan.site == "work"
+
+    def test_validation(self):
+        cycle = self.make_cycle()
+        with pytest.raises(ValueError):
+            plan_prefetch(cycle, 0.0, lead_ms=0.0)

@@ -1,0 +1,220 @@
+"""Cross-cutting property-based tests on core system invariants."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.archival import CodingError, ReedSolomonCode, encode_archival, reconstruct_archival
+from repro.consistency import normalized_cost, update_cost_bytes
+from repro.core.system import deserialize_state, serialize_state
+from repro.data import (
+    AppendBlock,
+    DataObjectState,
+    DeleteBlock,
+    InsertBlock,
+    ReplaceBlock,
+    TruePredicate,
+    UpdateBranch,
+    apply_update,
+    make_update,
+)
+from repro.crypto import make_principal
+from repro.naming import object_guid
+from repro.routing import PlaxtonMesh
+from repro.sim import Kernel, Network
+from repro.util import GUID, GUID_BITS
+
+AUTHOR = make_principal("prop-author", random.Random(1000), bits=256)
+GUID_FOR = object_guid(AUTHOR.public_key, "prop")
+
+
+# ---------------------------------------------------------------------------
+# Plaxton root uniqueness, across random meshes
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_plaxton_root_unique_for_every_start(seed):
+    rng = random.Random(seed)
+    kernel = Kernel()
+    n = rng.randrange(12, 40)
+    graph = nx.connected_watts_strogatz_graph(n, 4, 0.3, seed=seed)
+    nx.set_edge_attributes(graph, 10.0, "latency_ms")
+    network = Network(kernel, graph)
+    mesh = PlaxtonMesh(network, rng)
+    mesh.populate(sorted(network.nodes()))
+    for i in range(5):
+        target = GUID(rng.getrandbits(GUID_BITS))
+        roots = {
+            mesh.route_to_root(start, target).path[-1]
+            for start in sorted(mesh.nodes)
+        }
+        assert len(roots) == 1
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_plaxton_publish_locate_from_anywhere(seed):
+    rng = random.Random(seed)
+    kernel = Kernel()
+    graph = nx.connected_watts_strogatz_graph(20, 4, 0.2, seed=seed)
+    nx.set_edge_attributes(graph, 10.0, "latency_ms")
+    network = Network(kernel, graph)
+    mesh = PlaxtonMesh(network, rng)
+    mesh.populate(sorted(network.nodes()))
+    guid = GUID(rng.getrandbits(GUID_BITS))
+    replica = rng.choice(sorted(mesh.nodes))
+    mesh.publish(replica, guid)
+    for start in sorted(mesh.nodes):
+        result = mesh.locate(start, guid)
+        assert result.found and result.replica_node == replica
+
+
+# ---------------------------------------------------------------------------
+# Archival round-trip under arbitrary erasures
+# ---------------------------------------------------------------------------
+
+
+@given(
+    data=st.binary(min_size=0, max_size=2000),
+    k=st.integers(min_value=2, max_value=8),
+    extra=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_archival_survives_any_erasure_to_k(data, k, extra, seed):
+    code = ReedSolomonCode(k=k, n=k + extra)
+    archival = encode_archival(data, code)
+    rng = random.Random(seed)
+    survivors = rng.sample(list(archival.fragments), k)
+    recovered = reconstruct_archival(
+        survivors, code, archival.fragments[0].merkle_root
+    )
+    assert recovered == data
+
+
+@given(
+    data=st.binary(min_size=1, max_size=500),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_archival_guid_is_content_address(data, seed):
+    code = ReedSolomonCode(k=3, n=6)
+    a = encode_archival(data, code)
+    b = encode_archival(data, code)
+    assert a.archival_guid == b.archival_guid
+    c = encode_archival(data + b"!", code)
+    assert c.archival_guid != a.archival_guid
+
+
+# ---------------------------------------------------------------------------
+# Update application: determinism and atomicity
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def update_actions(draw):
+    n_actions = draw(st.integers(min_value=1, max_value=6))
+    actions = []
+    length = 0
+    for i in range(n_actions):
+        choices = ["append"]
+        if length > 0:
+            choices += ["replace", "insert", "delete"]
+        kind = draw(st.sampled_from(choices))
+        payload = draw(st.binary(min_size=1, max_size=16))
+        if kind == "append":
+            actions.append(AppendBlock(payload))
+            length += 1
+        elif kind == "replace":
+            actions.append(ReplaceBlock(draw(st.integers(0, length - 1)), payload))
+        elif kind == "insert":
+            actions.append(InsertBlock(draw(st.integers(0, length - 1)), payload))
+        elif kind == "delete":
+            actions.append(DeleteBlock(draw(st.integers(0, length - 1))))
+    return actions
+
+
+@given(actions=update_actions(), ts=st.floats(min_value=0, max_value=1e6))
+@settings(max_examples=40, deadline=None)
+def test_update_application_deterministic(actions, ts):
+    update = make_update(
+        AUTHOR, GUID_FOR, [UpdateBranch(TruePredicate(), tuple(actions))], ts
+    )
+    s1, s2 = DataObjectState(), DataObjectState()
+    o1 = apply_update(s1, update)
+    o2 = apply_update(s2, update)
+    assert o1 == o2
+    assert s1.data.logical_ciphertext() == s2.data.logical_ciphertext()
+    assert s1.version == s2.version
+
+
+@given(actions=update_actions())
+@settings(max_examples=40, deadline=None)
+def test_failing_update_leaves_state_untouched(actions):
+    # Append a guaranteed-failing action: the whole branch must roll back.
+    bad = tuple(actions) + (DeleteBlock(slot=10_000),)
+    update = make_update(
+        AUTHOR, GUID_FOR, [UpdateBranch(TruePredicate(), bad)], 1.0
+    )
+    state = DataObjectState()
+    state.data.append(b"pre-existing")
+    before = state.data.logical_ciphertext()
+    outcome = apply_update(state, update)
+    assert not outcome.committed
+    assert state.data.logical_ciphertext() == before
+    assert state.version == 0
+
+
+# ---------------------------------------------------------------------------
+# State serialization round trip
+# ---------------------------------------------------------------------------
+
+
+@given(actions=update_actions(), words=st.lists(st.text(max_size=8), max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_state_serialization_round_trip(actions, words):
+    state = DataObjectState()
+    update = make_update(
+        AUTHOR, GUID_FOR, [UpdateBranch(TruePredicate(), tuple(actions))], 1.0
+    )
+    apply_update(state, update)
+    state.search_cells = [w.encode().ljust(24, b"\0")[:24] for w in words]
+    restored = deserialize_state(serialize_state(state))
+    assert restored.version == state.version
+    assert restored.data.logical_ciphertext() == state.data.logical_ciphertext()
+    assert restored.data.slots == state.data.slots
+    assert restored.data.next_block_id == state.data.next_block_id
+    assert restored.search_cells == state.search_cells
+
+
+# ---------------------------------------------------------------------------
+# Cost model algebra
+# ---------------------------------------------------------------------------
+
+
+@given(
+    u=st.floats(min_value=1.0, max_value=1e8),
+    m=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50)
+def test_cost_model_bounds(u, m):
+    n = 3 * m + 1
+    b = update_cost_bytes(u, n)
+    assert b > u * n  # protocol always costs more than the floor
+    assert normalized_cost(u, n) > 1.0
+
+
+@given(
+    u1=st.floats(min_value=1.0, max_value=1e6),
+    factor=st.floats(min_value=1.1, max_value=100.0),
+    m=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50)
+def test_cost_model_monotone_in_size(u1, factor, m):
+    n = 3 * m + 1
+    assert normalized_cost(u1 * factor, n) < normalized_cost(u1, n)

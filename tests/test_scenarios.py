@@ -1,0 +1,211 @@
+"""End-to-end scenario tests: the paper's Section 3 applications run
+against the full simulated deployment."""
+
+import random
+
+import pytest
+
+from repro.api import SessionGuarantee
+from repro.api.facades import FileSystemFacade, TransactionalFacade, WebGateway
+from repro.consistency import FaultMode
+from repro.core import DeploymentConfig, OceanStoreSystem, make_client
+from repro.core.workloads import EmailWorkload
+from repro.sim import TopologyParams
+
+
+def make_system(seed=100, **overrides):
+    defaults = dict(
+        seed=seed,
+        topology=TopologyParams(
+            transit_nodes=4, stubs_per_transit=2, nodes_per_stub=5
+        ),
+        secondaries_per_object=3,
+        archival_k=4,
+        archival_n=8,
+    )
+    defaults.update(overrides)
+    return OceanStoreSystem(DeploymentConfig(**defaults))
+
+
+class TestEmailScenario:
+    """Groupware email: concurrent writers, one reader, atomic moves."""
+
+    def test_full_mailbox_lifecycle(self):
+        system = make_system(seed=101)
+        owner = make_client(system, "owner", seed=1)
+        senders = [make_client(system, f"sender-{i}", seed=10 + i) for i in range(3)]
+        inbox = owner.create_object("inbox")
+        archive = owner.create_object("archive")
+        for sender in senders:
+            owner.grant_read(inbox.guid, sender.keyring)
+
+        # Concurrent delivery: every append commits (no conflicts).
+        workload = EmailWorkload(
+            [s.principal.name for s in senders], "owner", random.Random(0)
+        )
+        delivered = 0
+        for op in workload.next_ops(15):
+            if op.kind != "deliver":
+                continue
+            sender = next(s for s in senders if s.principal.name == op.actor)
+            handle = sender.open_object(inbox.guid)
+            builder = sender.update_builder(handle).append(op.message)
+            assert sender.submit(handle, builder).committed
+            delivered += 1
+        assert delivered > 0
+
+        state = owner.read_state(inbox)
+        assert state.data.logical_length == delivered
+
+        # Atomic move of message 0 via the transactional facade.
+        facade = TransactionalFacade(owner)
+        txn = facade.begin(inbox)
+        message = txn.read_block(0)
+        txn.delete(0)
+        assert txn.commit()
+        txn2 = facade.begin(archive)
+        txn2.append(message)
+        assert txn2.commit()
+        assert owner.read(archive) == message
+        final_inbox = owner.read_state(inbox)
+        assert final_inbox.data.logical_length == delivered - 1
+
+    def test_disconnected_operation(self):
+        """Tentative updates survive disconnection and commit on
+        reconnection (the optimistic concurrency story)."""
+        system = make_system(seed=102)
+        owner = make_client(system, "nomad", seed=2)
+        inbox = owner.create_object("offline-inbox")
+        owner.write(inbox, b"base")
+        tier = system.tiers[inbox.guid]
+
+        # "Disconnect": partition the client's home node from the ring.
+        system.network.add_partition(
+            {owner.home_node}, set(system.ring_nodes)
+        )
+        builder = owner.update_builder(inbox).append(b"+offline-draft")
+        update = builder.build(owner.principal, inbox.guid, 999.0)
+        # Submission reaches secondary replicas (not partitioned) only.
+        system.submit_update(owner.home_node, update)
+        system.settle()
+        infected = sum(
+            1 for r in tier.replicas.values() if update.update_id in r.tentative
+        )
+        assert infected >= 1  # the draft lives on as tentative state
+        committed_before = max(r.committed_through for r in tier.replicas.values())
+        assert committed_before == 0  # only the base write committed
+
+        # "Reconnect": heal and resubmit (the client library's job).
+        system.network.heal_partitions()
+        system.submit_update(owner.home_node, update)
+        system.settle(60_000.0)
+        assert owner.read(inbox) == b"base+offline-draft"
+
+
+class TestDigitalLibraryScenario:
+    """Massive read-mostly corpus surviving a failure storm."""
+
+    def test_corpus_survives_failure_storm(self):
+        system = make_system(seed=103)
+        librarian = make_client(system, "librarian", seed=3)
+        corpus = {
+            f"doc-{i}": f"document {i} contents ".encode() * 30 for i in range(5)
+        }
+        handles = {}
+        for name, text in corpus.items():
+            handle = librarian.create_object(name)
+            assert librarian.write(handle, text).committed
+            handles[name] = handle
+
+        # Storm: kill 40% of non-ring servers.
+        victims = [
+            n for i, n in enumerate(sorted(system.servers))
+            if i % 5 in (0, 1) and n not in system.ring_nodes
+        ]
+        for v in victims:
+            system.network.set_down(v)
+
+        # Every document still reads (replicas/primaries) and restores
+        # from fragments.
+        for name, handle in handles.items():
+            assert librarian.read(handle) == corpus[name]
+            state = system.restore_from_archive(handle.guid, 1)
+            assert handle.codec.read_document(state.data) == corpus[name]
+
+        # Repair sweep reports no losses.
+        reports = system.sweeper.sweep()
+        assert not any(r.lost for r in reports)
+
+    def test_permanent_links_via_gateway(self):
+        system = make_system(seed=104)
+        librarian = make_client(system, "curator", seed=4)
+        fs = FileSystemFacade(librarian)
+        fs.mkdir("collection")
+        fs.write_file("collection/paper.txt", b"v1 text")
+        gateway = WebGateway(
+            librarian,
+            filesystem=fs,
+            archive_reader=system.restore_from_archive,
+        )
+        # Browse by path.
+        assert gateway.get("oceanstore://fs/collection/paper.txt").body == b"v1 text"
+        # Pin the version, then change the file; the link still serves v1.
+        guid = fs.guid_of("collection/paper.txt")
+        version = system.servers[system.ring_nodes[0]].objects[guid].version
+        from repro.naming import VersionedName
+
+        link = VersionedName(guid, version).format()
+        fs.write_file("collection/paper.txt", b"v2 text")
+        response = gateway.get(f"oceanstore://{link}")
+        assert response.ok and response.body == b"v1 text"
+
+
+class TestSecurityScenario:
+    """Untrusted infrastructure: confidentiality and write control."""
+
+    def test_servers_never_hold_plaintext(self):
+        system = make_system(seed=105)
+        alice = make_client(system, "alice", seed=5)
+        secret = b"the merger closes friday"
+        obj = alice.create_object("insider")
+        alice.write(obj, secret)
+        system.settle()
+        # Sweep every server's stored state: object replicas, secondary
+        # replicas, and archival fragments.
+        for server in system.servers.values():
+            for stored in server.objects.values():
+                for ct in stored.active.data.logical_ciphertext():
+                    assert secret not in ct
+            for frags in server.fragments.fragments.values():
+                for fragment in frags:
+                    assert secret not in fragment.payload
+        for tier in system.tiers.values():
+            for replica in tier.replicas.values():
+                for ct in replica.committed_state.data.logical_ciphertext():
+                    assert secret not in ct
+
+    def test_byzantine_minority_cannot_corrupt(self):
+        system = make_system(seed=106)
+        alice = make_client(system, "alice", seed=6)
+        obj = alice.create_object("contested")
+        system.ring.set_fault(1, FaultMode.EQUIVOCATE)
+        assert alice.write(obj, b"truth").committed
+        # All honest primaries agree on content.
+        contents = set()
+        for i, node in enumerate(system.ring_nodes):
+            if system.ring.replicas[i].fault_mode is FaultMode.HONEST:
+                state = system.servers[node].objects[obj.guid].active
+                contents.add(tuple(state.data.logical_ciphertext()))
+        assert len(contents) == 1
+        assert alice.read(obj) == b"truth"
+
+    def test_session_guarantees_across_replicas(self):
+        system = make_system(seed=107)
+        alice = make_client(system, "alice", seed=7)
+        obj = alice.create_object("consistent")
+        session = alice.open_session(SessionGuarantee.ACID)
+        for i in range(3):
+            alice.write(obj, f"v{i}".encode(), session)
+            # Read-your-writes must hold even if location finds a stale
+            # secondary: the backend falls back to the primary tier.
+            assert alice.read(obj, session) == f"v{i}".encode()

@@ -1,0 +1,153 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Kernel, SimulationError, Timer
+
+
+class TestKernel:
+    def test_starts_at_zero(self):
+        assert Kernel().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        kernel = Kernel()
+        order = []
+        kernel.call_at(20.0, lambda: order.append("b"))
+        kernel.call_at(10.0, lambda: order.append("a"))
+        kernel.call_at(30.0, lambda: order.append("c"))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        kernel = Kernel()
+        order = []
+        for label in "abc":
+            kernel.call_at(5.0, lambda label=label: order.append(label))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_at(42.0, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [42.0]
+        assert kernel.now == 42.0
+
+    def test_call_after_relative(self):
+        kernel = Kernel()
+        times = []
+        kernel.call_at(10.0, lambda: kernel.call_after(5.0, lambda: times.append(kernel.now)))
+        kernel.run()
+        assert times == [15.0]
+
+    def test_schedule_in_past_rejected(self):
+        kernel = Kernel()
+        kernel.call_at(10.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Kernel().call_after(-1.0, lambda: None)
+
+    def test_run_until_inclusive(self):
+        kernel = Kernel()
+        fired = []
+        kernel.call_at(10.0, lambda: fired.append(10))
+        kernel.call_at(20.0, lambda: fired.append(20))
+        kernel.run(until=10.0)
+        assert fired == [10]
+        assert kernel.now == 10.0
+        kernel.run()
+        assert fired == [10, 20]
+
+    def test_run_until_advances_clock_when_idle(self):
+        kernel = Kernel()
+        kernel.run(until=100.0)
+        assert kernel.now == 100.0
+
+    def test_cancel(self):
+        kernel = Kernel()
+        fired = []
+        handle = kernel.call_at(10.0, lambda: fired.append(1))
+        handle.cancel()
+        kernel.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_max_events(self):
+        kernel = Kernel()
+        fired = []
+        for i in range(10):
+            kernel.call_at(float(i), lambda i=i: fired.append(i))
+        kernel.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step(self):
+        kernel = Kernel()
+        fired = []
+        kernel.call_at(1.0, lambda: fired.append(1))
+        assert kernel.step() is True
+        assert fired == [1]
+        assert kernel.step() is False
+
+    def test_events_executed_counter(self):
+        kernel = Kernel()
+        for i in range(5):
+            kernel.call_at(float(i), lambda: None)
+        kernel.run()
+        assert kernel.events_executed == 5
+
+    def test_pending_excludes_cancelled(self):
+        kernel = Kernel()
+        kernel.call_at(1.0, lambda: None)
+        handle = kernel.call_at(2.0, lambda: None)
+        handle.cancel()
+        assert kernel.pending == 1
+
+
+class TestTimer:
+    def test_fires_repeatedly(self):
+        kernel = Kernel()
+        ticks = []
+        timer = Timer(kernel, interval=10.0, callback=lambda: ticks.append(kernel.now))
+        timer.start()
+        kernel.run(until=35.0)
+        timer.stop()
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_stop_prevents_future_fires(self):
+        kernel = Kernel()
+        ticks = []
+        timer = Timer(kernel, interval=10.0, callback=lambda: ticks.append(kernel.now))
+        timer.start()
+        kernel.call_at(25.0, timer.stop)
+        kernel.run(until=100.0)
+        assert ticks == [10.0, 20.0]
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            Timer(Kernel(), interval=0.0, callback=lambda: None)
+
+    def test_double_start_is_noop(self):
+        kernel = Kernel()
+        ticks = []
+        timer = Timer(kernel, interval=10.0, callback=lambda: ticks.append(1))
+        timer.start()
+        timer.start()
+        kernel.run(until=10.0)
+        assert ticks == [1]
+
+    def test_jitter_applied(self):
+        kernel = Kernel()
+        ticks = []
+        timer = Timer(
+            kernel, interval=10.0, callback=lambda: ticks.append(kernel.now),
+            jitter=lambda: 2.5,
+        )
+        timer.start()
+        kernel.run(until=26.0)
+        timer.stop()
+        assert ticks == [12.5, 25.0]

@@ -1,0 +1,247 @@
+"""Tests for update wire serialization, versioned reads, and the
+remaining sim utilities (stats, subscribe semantics)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.api import LocalBackend, OceanStoreHandle, UnknownObject
+from repro.core import DeploymentConfig, OceanStoreSystem, make_client
+from repro.crypto import KeyRing, make_principal
+from repro.crypto.rsa import PublicKey
+from repro.data import (
+    AppendBlock,
+    AppendSearchCells,
+    CompareVersion,
+    DeleteBlock,
+    InsertBlock,
+    ReplaceBlock,
+    TruePredicate,
+    UpdateBranch,
+    AndPredicate,
+    deserialize_update,
+    make_update,
+    serialize_update,
+)
+from repro.naming import object_guid
+from repro.sim import Counter, Distribution, Kernel, Network, TopologyParams
+from repro.util import GUID
+
+
+@pytest.fixture(scope="module")
+def author():
+    return make_principal("wire-author", random.Random(90), bits=256)
+
+
+class TestPublicKeyWire:
+    def test_round_trip(self, author):
+        key = author.public_key
+        assert PublicKey.from_bytes(key.to_bytes()) == key
+
+    def test_round_tripped_key_verifies(self, author):
+        sig = author.sign(b"message")
+        restored = PublicKey.from_bytes(author.public_key.to_bytes())
+        assert restored.verify(b"message", sig)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            PublicKey.from_bytes(b"\x00\x00")
+        with pytest.raises(ValueError):
+            PublicKey.from_bytes((100).to_bytes(4, "big") + b"\x01")
+
+
+class TestUpdateWire:
+    def make_rich_update(self, author):
+        guid = object_guid(author.public_key, "wire")
+        return make_update(
+            author,
+            guid,
+            [
+                UpdateBranch(
+                    AndPredicate((CompareVersion(3), TruePredicate())),
+                    (
+                        AppendBlock(b"payload"),
+                        ReplaceBlock(0, b"replacement"),
+                        InsertBlock(1, b"inserted"),
+                        DeleteBlock(2),
+                        AppendSearchCells((b"c" * 24,)),
+                    ),
+                ),
+                UpdateBranch(TruePredicate(), (AppendBlock(b"fallback"),)),
+            ],
+            timestamp=123.0,
+        )
+
+    def test_round_trip(self, author):
+        update = self.make_rich_update(author)
+        restored = deserialize_update(serialize_update(update))
+        assert restored.object_guid == update.object_guid
+        assert restored.update_id == update.update_id
+        assert restored.branches == update.branches
+        assert restored.timestamp == update.timestamp
+
+    def test_signature_survives_wire(self, author):
+        update = self.make_rich_update(author)
+        restored = deserialize_update(serialize_update(update))
+        assert restored.verify_signature()
+
+    def test_tampered_body_detected(self, author):
+        update = self.make_rich_update(author)
+        wire = bytearray(serialize_update(update))
+        # Flip a byte inside the payload region.
+        wire[len(wire) // 2] ^= 0xFF
+        with pytest.raises(ValueError):
+            deserialize_update(bytes(wire))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_update(b"not an update")
+
+    def test_size_accounting_close_to_wire(self, author):
+        update = self.make_rich_update(author)
+        wire = serialize_update(update)
+        # size_bytes() (used by the cost model) tracks the real wire size.
+        assert 0.8 < update.size_bytes() / len(wire) <= 1.0
+
+
+class TestVersionedReads:
+    def test_local_backend_versions(self):
+        principal = make_principal("v-local", random.Random(91), bits=256)
+        store = OceanStoreHandle(
+            LocalBackend(), principal, KeyRing(principal, random.Random(92))
+        )
+        obj = store.create_object("versioned")
+        store.write(obj, b"one")
+        store.append(obj, b" two")
+        assert store.read_version(obj, 1) == b"one"
+        assert store.read_version(obj, 2) == b"one two"
+        assert store.read(obj) == b"one two"
+
+    def test_local_backend_missing_version(self):
+        principal = make_principal("v-miss", random.Random(93), bits=256)
+        store = OceanStoreHandle(
+            LocalBackend(), principal, KeyRing(principal, random.Random(94))
+        )
+        obj = store.create_object("v")
+        store.write(obj, b"x")
+        with pytest.raises(UnknownObject):
+            store.read_version(obj, 9)
+
+    def test_system_versions_from_log_and_archive(self):
+        system = OceanStoreSystem(
+            DeploymentConfig(
+                seed=95,
+                topology=TopologyParams(
+                    transit_nodes=4, stubs_per_transit=2, nodes_per_stub=4
+                ),
+                archival_k=4,
+                archival_n=8,
+            )
+        )
+        client = make_client(system, "versioner", seed=96)
+        obj = client.create_object("history")
+        client.write(obj, b"draft")   # version 1
+        client.write(obj, b"final")   # version 2
+        assert client.read_version(obj, 1) == b"draft"
+        assert client.read(obj) == b"final"
+        # Retire old versions from the primary log; archive still serves.
+        from repro.naming import RetentionPolicy, VersionPolicy
+
+        primary = system.servers[system.ring_nodes[0]].objects[obj.guid]
+        primary.log.retire(VersionPolicy(RetentionPolicy.KEEP_LAST_N, keep_last=1))
+        assert client.read_version(obj, 1) == b"draft"
+
+
+class TestSimStats:
+    def test_distribution_summary(self):
+        d = Distribution()
+        d.extend([1, 2, 3, 4, 5])
+        assert d.mean == 3
+        assert d.median == 3
+        assert d.min == 1 and d.max == 5
+        assert d.percentile(0) == 1
+        assert d.percentile(100) == 5
+        assert d.count == 5
+        summary = d.summary()
+        assert summary["p50"] == 3
+
+    def test_percentile_interpolation(self):
+        d = Distribution()
+        d.extend([0, 10])
+        assert d.percentile(50) == 5.0
+        assert d.percentile(25) == 2.5
+
+    def test_stdev(self):
+        d = Distribution()
+        d.extend([2, 4, 4, 4, 5, 5, 7, 9])
+        assert d.stdev == pytest.approx(2.138, abs=0.01)
+        single = Distribution()
+        single.add(1)
+        assert single.stdev == 0.0
+
+    def test_empty_errors(self):
+        d = Distribution()
+        with pytest.raises(ValueError):
+            _ = d.mean
+        with pytest.raises(ValueError):
+            d.percentile(50)
+
+    def test_percentile_bounds(self):
+        d = Distribution()
+        d.add(1)
+        with pytest.raises(ValueError):
+            d.percentile(101)
+
+    def test_counter(self):
+        c = Counter()
+        c.increment("a")
+        c.increment("a", by=2)
+        assert c.get("a") == 3
+        assert c.get("missing") == 0
+        assert c.as_dict() == {"a": 3}
+        c.reset()
+        assert c.get("a") == 0
+
+
+class TestNetworkSubscribe:
+    def make_net(self):
+        kernel = Kernel()
+        graph = nx.path_graph(2)
+        nx.set_edge_attributes(graph, 5.0, "latency_ms")
+        return kernel, Network(kernel, graph)
+
+    def test_multiple_subscribers_all_receive(self):
+        kernel, net = self.make_net()
+        seen_a, seen_b = [], []
+        net.subscribe(1, lambda m: seen_a.append(m.payload))
+        net.subscribe(1, lambda m: seen_b.append(m.payload))
+        net.send(0, 1, "x", size_bytes=1)
+        kernel.run()
+        assert seen_a == ["x"] and seen_b == ["x"]
+
+    def test_register_replaces_subscribers(self):
+        kernel, net = self.make_net()
+        old, new = [], []
+        net.subscribe(1, lambda m: old.append(m.payload))
+        net.register(1, lambda m: new.append(m.payload))
+        net.send(0, 1, "x", size_bytes=1)
+        kernel.run()
+        assert old == [] and new == ["x"]
+
+    def test_unsubscribe_specific_handler(self):
+        kernel, net = self.make_net()
+        keep, drop = [], []
+        keeper = lambda m: keep.append(m.payload)  # noqa: E731
+        dropper = lambda m: drop.append(m.payload)  # noqa: E731
+        net.subscribe(1, keeper)
+        net.subscribe(1, dropper)
+        net.unsubscribe(1, dropper)
+        net.send(0, 1, "x", size_bytes=1)
+        kernel.run()
+        assert keep == ["x"] and drop == []
+
+    def test_subscribe_unknown_node_rejected(self):
+        kernel, net = self.make_net()
+        with pytest.raises(KeyError):
+            net.subscribe(99, lambda m: None)

@@ -21,6 +21,7 @@ from typing import Protocol
 
 from repro.archival.reed_solomon import CodedFragment, CodingError
 from repro.crypto.merkle import MerkleProof, MerkleTree, verify_proof
+from repro.telemetry import coalesce
 from repro.util.ids import GUID
 
 
@@ -92,24 +93,31 @@ def _unchunk(data_fragments: list[bytes]) -> bytes:
     return joined[8 : 8 + length]
 
 
-def encode_archival(data: bytes, code: ErasureCode) -> ArchivalObject:
+def encode_archival(
+    data: bytes, code: ErasureCode, telemetry=None
+) -> ArchivalObject:
     """Erasure-code ``data`` into a self-verifying archival object."""
-    data_fragments = _chunk_for_code(data, code.k)
-    coded = code.encode(data_fragments)
-    tree = MerkleTree([f.payload for f in coded])
-    # The archival GUID is the top-most hash (the paper's rule).  Merkle
-    # roots are 32 bytes; GUIDs are 20 -- hash down to GUID width.
-    archival_guid = GUID.hash_of(tree.root)
-    fragments = tuple(
-        ArchivalFragment(
-            archival_guid=archival_guid,
-            index=f.index,
-            payload=f.payload,
-            proof=tree.proof(i),
-            merkle_root=tree.root,
+    tel = coalesce(telemetry)
+    with tel.span("archival.encode", k=code.k, n=code.n):
+        data_fragments = _chunk_for_code(data, code.k)
+        coded = code.encode(data_fragments)
+        tree = MerkleTree([f.payload for f in coded])
+        # The archival GUID is the top-most hash (the paper's rule).  Merkle
+        # roots are 32 bytes; GUIDs are 20 -- hash down to GUID width.
+        archival_guid = GUID.hash_of(tree.root)
+        fragments = tuple(
+            ArchivalFragment(
+                archival_guid=archival_guid,
+                index=f.index,
+                payload=f.payload,
+                proof=tree.proof(i),
+                merkle_root=tree.root,
+            )
+            for i, f in enumerate(coded)
         )
-        for i, f in enumerate(coded)
-    )
+    if tel.enabled:
+        tel.count("archival_encodes_total")
+        tel.observe("archival_encode_bytes", len(data))
     return ArchivalObject(
         archival_guid=archival_guid,
         fragments=fragments,
@@ -128,6 +136,7 @@ def reconstruct_archival(
     fragments: list[ArchivalFragment],
     code: ErasureCode,
     merkle_root: bytes,
+    telemetry=None,
 ) -> bytes:
     """Verify fragments, drop corrupt ones, decode, and unframe.
 
@@ -135,10 +144,18 @@ def reconstruct_archival(
     the "retrieved correctly and completely, or not at all" erasure
     property.
     """
-    valid = [
-        CodedFragment(index=f.index, payload=f.payload)
-        for f in fragments
-        if verify_fragment(f, merkle_root)
-    ]
-    data_fragments = code.decode(valid)
-    return _unchunk(data_fragments)
+    tel = coalesce(telemetry)
+    with tel.span("archival.reconstruct", offered=len(fragments)):
+        valid = [
+            CodedFragment(index=f.index, payload=f.payload)
+            for f in fragments
+            if verify_fragment(f, merkle_root)
+        ]
+        data_fragments = code.decode(valid)
+        data = _unchunk(data_fragments)
+    if tel.enabled:
+        tel.count("archival_reconstructs_total")
+        rejected = len(fragments) - len(valid)
+        if rejected:
+            tel.count("archival_corrupt_fragments_total", rejected)
+    return data

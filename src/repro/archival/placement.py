@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim.network import NodeId
+from repro.telemetry import coalesce
 
 
 class PlacementError(RuntimeError):
@@ -55,13 +56,16 @@ class PlacementPlan:
 class FragmentPlacer:
     """Plans dispersal of n fragments over ranked domains."""
 
-    def __init__(self, domains: list[AdministrativeDomain]) -> None:
+    def __init__(
+        self, domains: list[AdministrativeDomain], telemetry=None
+    ) -> None:
         if not domains:
             raise PlacementError("need at least one domain")
         names = [d.name for d in domains]
         if len(set(names)) != len(names):
             raise PlacementError("duplicate domain names")
         self.domains = sorted(domains, key=lambda d: -d.reliability)
+        self.telemetry = coalesce(telemetry)
 
     def total_capacity(self) -> int:
         return sum(len(d.servers) for d in self.domains)
@@ -89,29 +93,33 @@ class FragmentPlacer:
                 "per-domain cap too tight for fragment count; add domains "
                 "or raise max_fraction_per_domain"
             )
-        plan = PlacementPlan()
-        domain_use = {d.name: 0 for d in self.domains}
-        server_cursors = {d.name: 0 for d in self.domains}
-        fragment = 0
-        while fragment < fragment_count:
-            placed_this_round = False
-            for domain in self.domains:
-                if fragment >= fragment_count:
-                    break
-                if domain_use[domain.name] >= per_domain_cap:
-                    continue
-                cursor = server_cursors[domain.name]
-                if cursor >= len(domain.servers):
-                    continue
-                plan.assignments[fragment] = domain.servers[cursor]
-                server_cursors[domain.name] = cursor + 1
-                domain_use[domain.name] += 1
-                fragment += 1
-                placed_this_round = True
-            if not placed_this_round:
-                raise PlacementError(
-                    "placement deadlock: caps and capacity prevent dispersal"
-                )
+        tel = self.telemetry
+        with tel.span("archival.place", fragments=fragment_count):
+            plan = PlacementPlan()
+            domain_use = {d.name: 0 for d in self.domains}
+            server_cursors = {d.name: 0 for d in self.domains}
+            fragment = 0
+            while fragment < fragment_count:
+                placed_this_round = False
+                for domain in self.domains:
+                    if fragment >= fragment_count:
+                        break
+                    if domain_use[domain.name] >= per_domain_cap:
+                        continue
+                    cursor = server_cursors[domain.name]
+                    if cursor >= len(domain.servers):
+                        continue
+                    plan.assignments[fragment] = domain.servers[cursor]
+                    server_cursors[domain.name] = cursor + 1
+                    domain_use[domain.name] += 1
+                    fragment += 1
+                    placed_this_round = True
+                if not placed_this_round:
+                    raise PlacementError(
+                        "placement deadlock: caps and capacity prevent dispersal"
+                    )
+        if tel.enabled:
+            tel.count("archival_fragments_placed_total", fragment_count)
         return plan
 
     def domain_of(self, server: NodeId) -> AdministrativeDomain | None:

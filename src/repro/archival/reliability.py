@@ -96,7 +96,6 @@ def monte_carlo_availability(
     if trials < 1:
         raise ValueError("need at least one trial")
     available = 0
-    down_fraction = m / n
     for _ in range(trials):
         # Fragment machines are distinct; each is down with the
         # hypergeometric dependence approximated exactly by sampling

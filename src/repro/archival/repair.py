@@ -26,6 +26,7 @@ from repro.archival.fragments import (
 from repro.archival.reconstruction import FragmentStore
 from repro.archival.reed_solomon import CodingError
 from repro.sim.network import Network, NodeId
+from repro.telemetry import coalesce
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,6 +61,7 @@ class RepairSweeper:
         stores: dict[NodeId, FragmentStore],
         index: ArchiveIndex,
         min_live_fraction: float = 0.75,
+        telemetry=None,
     ) -> None:
         if not 0 < min_live_fraction <= 1:
             raise ValueError(
@@ -69,6 +71,7 @@ class RepairSweeper:
         self.stores = stores
         self.index = index
         self.min_live_fraction = min_live_fraction
+        self.telemetry = coalesce(telemetry)
 
     def _live_fragments(self, guid_bytes: bytes) -> list:
         fragments = []
@@ -95,9 +98,12 @@ class RepairSweeper:
     def _sweep_one(
         self, guid_bytes: bytes, archival: ArchivalObject, code: ErasureCode
     ) -> RepairReport:
+        tel = self.telemetry
         live = self._live_fragments(guid_bytes)
         threshold = int(archival.n * self.min_live_fraction)
         if len(live) >= threshold:
+            if tel.enabled:
+                tel.count("archival_sweeps_total", outcome="healthy")
             return RepairReport(
                 archival_guid_bytes=guid_bytes,
                 live_fragments=len(live),
@@ -108,8 +114,10 @@ class RepairSweeper:
         # Below threshold: reconstruct and re-disseminate at full strength.
         try:
             merkle_root = archival.fragments[0].merkle_root
-            data = reconstruct_archival(live, code, merkle_root)
+            data = reconstruct_archival(live, code, merkle_root, telemetry=tel)
         except (CodingError, IndexError):
+            if tel.enabled:
+                tel.count("archival_sweeps_total", outcome="lost")
             return RepairReport(
                 archival_guid_bytes=guid_bytes,
                 live_fragments=len(live),
@@ -117,7 +125,8 @@ class RepairSweeper:
                 lost=True,
                 new_fragments_placed=0,
             )
-        fresh = encode_archival(data, code)
+        with tel.span("archival.repair", live=len(live)):
+            fresh = encode_archival(data, code, telemetry=tel)
         healthy = [
             node
             for node in sorted(self.stores)
@@ -131,6 +140,9 @@ class RepairSweeper:
         # The re-encode reproduces the identical fragment set (same data,
         # same code), so the archival GUID is unchanged.
         self.index.register(fresh, code)
+        if tel.enabled:
+            tel.count("archival_sweeps_total", outcome="repaired")
+            tel.count("archival_fragments_replaced_total", placed)
         return RepairReport(
             archival_guid_bytes=guid_bytes,
             live_fragments=len(live),

@@ -7,18 +7,22 @@ Commands:
 * ``topology``  -- describe the deployment a config would build;
 * ``reliability`` -- print the Section 4.5 availability table for given
                    parameters;
-* ``costmodel`` -- print the Figure 6 normalized-cost series.
+* ``costmodel`` -- print the Figure 6 normalized-cost series;
+* ``telemetry`` -- run an instrumented scenario and print the causal
+                   span tree plus the metrics table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.archival import erasure_availability, nines, replication_availability
 from repro.consistency import normalized_cost, replicas_for_faults
 from repro.core import DeploymentConfig, OceanStoreSystem, make_client
 from repro.sim import TopologyParams
+from repro.telemetry import TelemetryConfig
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,6 +49,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cost = sub.add_parser("costmodel", help="Figure 6 normalized costs")
     cost.add_argument("--faults", "-m", type=int, default=4)
+
+    telem = sub.add_parser(
+        "telemetry", help="trace an instrumented scenario end to end"
+    )
+    telem.add_argument("--seed", type=int, default=42)
+    telem.add_argument(
+        "--scenario",
+        choices=sorted(_SCENARIOS),
+        default="update-path",
+        help="which instrumented scenario to run",
+    )
+    telem.add_argument(
+        "--max-depth", type=int, default=8, help="span tree display depth"
+    )
+    telem.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full metrics+spans export as JSON instead of tables",
+    )
 
     return parser
 
@@ -115,11 +138,93 @@ def cmd_costmodel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_update_path(system: OceanStoreSystem, seed: int) -> str:
+    """One client write, traced end to end: Bloom lookup, PBFT phases,
+    dissemination push, and archival encode all under a single root."""
+    alice = make_client(system, "alice", seed=seed + 1)
+    obj = alice.create_object("traced-object")
+    system.settle()
+    system.telemetry.reset()  # drop setup noise; trace the update alone
+    with system.telemetry.span("scenario.update-path"):
+        result = alice.write(obj, b"telemetry scenario payload")
+        system.settle()
+    return f"write committed: {result.committed} (version {result.new_version})"
+
+
+def _scenario_read_path(system: OceanStoreSystem, seed: int) -> str:
+    """A committed write followed by a traced read (two-tier location)."""
+    alice = make_client(system, "alice", seed=seed + 1)
+    obj = alice.create_object("traced-object")
+    alice.write(obj, b"telemetry scenario payload")
+    system.settle()
+    system.telemetry.reset()
+    with system.telemetry.span("scenario.read-path"):
+        data = alice.read(obj)
+        system.settle()
+    return f"read {len(data)} bytes"
+
+
+_SCENARIOS = {
+    "update-path": _scenario_update_path,
+    "read-path": _scenario_read_path,
+}
+
+
+def _print_metrics_table(export: dict) -> None:
+    counters = export.get("counters", {})
+    gauges = export.get("gauges", {})
+    histograms = export.get("histograms", {})
+    if counters:
+        print("counters:")
+        width = max(len(k) for k in counters)
+        for name in sorted(counters):
+            print(f"  {name:<{width}}  {counters[name]}")
+    if gauges:
+        print("gauges:")
+        width = max(len(k) for k in gauges)
+        for name in sorted(gauges):
+            print(f"  {name:<{width}}  {gauges[name]}")
+    if histograms:
+        print("histograms:")
+        width = max(len(k) for k in histograms)
+        for name in sorted(histograms):
+            s = histograms[name]
+            print(
+                f"  {name:<{width}}  n={int(s['count'])} mean={s['mean']:.2f} "
+                f"p50={s['p50']:.2f} p99={s['p99']:.2f} max={s['max']:.2f}"
+            )
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    system = OceanStoreSystem(
+        DeploymentConfig(
+            seed=args.seed,
+            topology=TopologyParams(
+                transit_nodes=4, stubs_per_transit=2, nodes_per_stub=5
+            ),
+            telemetry=TelemetryConfig(enabled=True),
+        )
+    )
+    status = _SCENARIOS[args.scenario](system, args.seed)
+    if args.json:
+        print(status, file=sys.stderr)
+        print(json.dumps(system.telemetry.export(spans=True), indent=2))
+        return 0
+    print(status)
+    print()
+    print("trace:")
+    print(system.telemetry.render_spans(max_depth=args.max_depth))
+    print()
+    _print_metrics_table(system.telemetry.export())
+    return 0
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "topology": cmd_topology,
     "reliability": cmd_reliability,
     "costmodel": cmd_costmodel,
+    "telemetry": cmd_telemetry,
 }
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim.network import Network, NodeId
+from repro.telemetry import coalesce
 
 
 class TreeError(RuntimeError):
@@ -32,6 +33,7 @@ class DisseminationTree:
     network: Network
     root: NodeId
     max_fanout: int = 4
+    telemetry: object = None
     _children: dict[NodeId, list[NodeId]] = field(default_factory=dict)
     _parent: dict[NodeId, NodeId] = field(default_factory=dict)
     #: members flagged as bandwidth-limited leaves: they receive
@@ -41,6 +43,7 @@ class DisseminationTree:
     def __post_init__(self) -> None:
         if self.max_fanout < 1:
             raise TreeError("max_fanout must be >= 1")
+        self.telemetry = coalesce(self.telemetry)
         self._children.setdefault(self.root, [])
 
     # -- membership ---------------------------------------------------------
@@ -143,8 +146,14 @@ class DisseminationTree:
         instead of the full payload -- the update-to-invalidation
         transformation at bandwidth-limited edges.
         """
+        tel = self.telemetry
         for child in self._children.get(node, []):
             degrade = small_payload is not None and child in self.low_bandwidth
             child_payload = small_payload if degrade else payload
             child_size = small_size_bytes if degrade else size_bytes
+            if tel.enabled:
+                tel.count(
+                    "dissemination_messages_total",
+                    kind="invalidation" if degrade else "update",
+                )
             self.network.send(node, child, child_payload, child_size)

@@ -30,6 +30,7 @@ from repro.crypto.keys import Principal
 from repro.data.update import Update
 from repro.sim.kernel import Kernel
 from repro.sim.network import Message, Network, NodeId
+from repro.telemetry import coalesce
 from repro.util import serialization
 
 #: Size in bytes of small protocol messages (the paper's c1 ~ 100 bytes).
@@ -154,6 +155,18 @@ def update_digest(update: Update) -> bytes:
 #: behind a slot nobody can complete).
 NOOP_DIGEST = sha256(b"pbft-noop-request")
 
+#: Wire-message type -> telemetry phase label.  With ``request`` (client
+#: to all replicas) and the dissemination push this mirrors the
+#: six-phase update flow of Section 4.4.5.
+_PHASE_BY_TYPE: dict[type, str] = {
+    PrePrepare: "pre_prepare",
+    PrepareMsg: "prepare",
+    CommitMsg: "commit",
+    SignShare: "sign_share",
+    ViewChangeMsg: "view_change",
+    NewViewMsg: "new_view",
+}
+
 
 # -- replica -----------------------------------------------------------------
 
@@ -221,10 +234,17 @@ class PBFTReplica:
     def _broadcast(self, payload: object, size: int) -> None:
         if self.fault_mode is FaultMode.SILENT:
             return
+        sent = 0
         for other in self.ring.replicas:
             if other.index == self.index:
                 continue
             self.ring.network.send(self.network_id, other.network_id, payload, size)
+            sent += 1
+        tel = self.ring.telemetry
+        if tel.enabled and sent:
+            tel.count(
+                "pbft_messages_total", sent, phase=_PHASE_BY_TYPE[type(payload)]
+            )
 
     # -- message handling ---------------------------------------------------------
 
@@ -288,9 +308,10 @@ class PBFTReplica:
         instance.prepares |= instance.early_prepares.pop(digest, set())
         instance.commits |= instance.early_commits.pop(digest, set())
         self.known_by_digest[digest] = update
-        self._broadcast(
-            PrePrepare(self.view, seq, digest), size=SMALL_MESSAGE_BYTES
-        )
+        with self.ring.telemetry.span("pbft.pre_prepare", seq=seq, leader=self.index):
+            self._broadcast(
+                PrePrepare(self.view, seq, digest), size=SMALL_MESSAGE_BYTES
+            )
         self._maybe_prepared(self.view, seq)
 
     def _propose_noop_at(self, seq: int) -> None:
@@ -401,18 +422,21 @@ class PBFTReplica:
                 continue
             self.executed_updates.add(update.update_id)
             self._cancel_view_change_timer(update.update_id)
-            self.ring._replica_executed(self, seq, update)
-            share = SignShare(
-                seq=seq,
-                digest=digest,
-                sender=self.index,
-                signature=self.principal.sign(
-                    CommitCertificate.signed_payload(seq, digest)
-                ),
-            )
-            self.sign_shares.setdefault(seq, {})[self.index] = share.signature
-            self._broadcast(share, size=SMALL_MESSAGE_BYTES)
-            self._maybe_certified(seq, digest, update)
+            with self.ring.telemetry.span(
+                "pbft.execute", seq=seq, replica=self.index
+            ):
+                self.ring._replica_executed(self, seq, update)
+                share = SignShare(
+                    seq=seq,
+                    digest=digest,
+                    sender=self.index,
+                    signature=self.principal.sign(
+                        CommitCertificate.signed_payload(seq, digest)
+                    ),
+                )
+                self.sign_shares.setdefault(seq, {})[self.index] = share.signature
+                self._broadcast(share, size=SMALL_MESSAGE_BYTES)
+                self._maybe_certified(seq, digest, update)
 
     def _on_sign_share(self, msg: SignShare) -> None:
         payload = CommitCertificate.signed_payload(msg.seq, msg.digest)
@@ -445,7 +469,11 @@ class PBFTReplica:
                 update=update,
                 signatures=tuple(sorted(shares.items())),
             )
-            self.ring._replica_certified(self, certificate)
+            tel = self.ring.telemetry
+            if tel.enabled:
+                tel.count("pbft_certificates_total")
+            with tel.span("pbft.certify", seq=seq, replica=self.index):
+                self.ring._replica_certified(self, certificate)
 
     # -- view change -------------------------------------------------------------------
 
@@ -496,6 +524,9 @@ class PBFTReplica:
             return
         reports = self._prepared_reports()
         votes[self.index] = reports
+        tel = self.ring.telemetry
+        if tel.enabled:
+            tel.count("pbft_view_changes_total", replica=self.index)
         self._broadcast(
             ViewChangeMsg(new_view, self.index, reports),
             size=SMALL_MESSAGE_BYTES + 40 * len(reports),
@@ -597,6 +628,7 @@ class InnerRing:
         replica_nodes: list[NodeId],
         principals: list[Principal],
         m: int,
+        telemetry=None,
     ) -> None:
         if len(replica_nodes) != 3 * m + 1:
             raise ValueError(
@@ -607,6 +639,7 @@ class InnerRing:
             raise ValueError("one principal per replica required")
         self.kernel = kernel
         self.network = network
+        self.telemetry = coalesce(telemetry)
         self.m = m
         self.replicas = [
             PBFTReplica(i, node, principal, self)
@@ -639,13 +672,17 @@ class InnerRing:
     def submit(self, client_node: NodeId, update: Update) -> None:
         """Client sends the update directly to the primary tier
         (Figure 5a): every replica receives the full request."""
-        for replica in self.replicas:
-            self.network.send(
-                client_node,
-                replica.network_id,
-                ClientRequest(update),
-                size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
-            )
+        tel = self.telemetry
+        with tel.span("pbft.request", client=client_node):
+            for replica in self.replicas:
+                self.network.send(
+                    client_node,
+                    replica.network_id,
+                    ClientRequest(update),
+                    size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+                )
+        if tel.enabled:
+            tel.count("pbft_messages_total", len(self.replicas), phase="request")
 
     # -- callbacks ------------------------------------------------------------------
 

@@ -29,6 +29,7 @@ from repro.consistency.timestamps import tentative_order
 from repro.data.update import DataObjectState, Update, apply_update
 from repro.data.version_log import VersionLog
 from repro.sim.network import Message, Network, NodeId
+from repro.telemetry import coalesce
 from repro.util.ids import GUID
 
 
@@ -264,11 +265,18 @@ class SecondaryTier:
         root_contact: NodeId,
         rng: random.Random,
         max_fanout: int = 4,
+        telemetry=None,
     ) -> None:
         self.network = network
         self.object_guid = object_guid
         self.rng = rng
-        self.tree = DisseminationTree(network, root=root_contact, max_fanout=max_fanout)
+        self.telemetry = coalesce(telemetry)
+        self.tree = DisseminationTree(
+            network,
+            root=root_contact,
+            max_fanout=max_fanout,
+            telemetry=self.telemetry,
+        )
         self.replicas: dict[NodeId, SecondaryReplica] = {}
         #: committed updates already pushed, kept so the tree root can
         #: serve pulls ("pull missing information from parents and
@@ -313,19 +321,25 @@ class SecondaryTier:
         targets = self.rng.sample(
             sorted(self.replicas), min(fanout, len(self.replicas))
         )
-        for target in targets:
-            self.network.send(
-                client_node,
-                target,
-                TentativeGossip(updates=(update,), sender=client_node),
-                size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
-            )
+        tel = self.telemetry
+        with tel.span("secondary.tentative", client=client_node):
+            for target in targets:
+                self.network.send(
+                    client_node,
+                    target,
+                    TentativeGossip(updates=(update,), sender=client_node),
+                    size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+                )
+        if tel.enabled:
+            tel.count("secondary_tentative_pushes_total", len(targets))
 
     def epidemic_round(self) -> None:
         """Each replica anti-entropies with one random partner."""
         ids = sorted(self.replicas)
         if len(ids) < 2:
             return
+        if self.telemetry.enabled:
+            self.telemetry.count("secondary_anti_entropy_rounds_total")
         for replica_id in ids:
             partner = self.rng.choice([i for i in ids if i != replica_id])
             self.replicas[replica_id].start_anti_entropy(partner)
@@ -361,13 +375,14 @@ class SecondaryTier:
         with tree depth as in a real overlay multicast.
         """
         self._pushed[seq] = update
-        self.tree.send_to_children(
-            self.tree.root,
-            CommittedPush(seq=seq, update=update),
-            size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
-            small_payload=self._invalidation_for(seq, update.update_id),
-            small_size_bytes=SMALL_MESSAGE_BYTES,
-        )
+        with self.telemetry.span("dissem.push", seq=seq):
+            self.tree.send_to_children(
+                self.tree.root,
+                CommittedPush(seq=seq, update=update),
+                size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+                small_payload=self._invalidation_for(seq, update.update_id),
+                small_size_bytes=SMALL_MESSAGE_BYTES,
+            )
 
     def _invalidation_for(self, seq: int, update_id: bytes) -> Invalidation:
         return Invalidation(seq=seq, object_guid=self.object_guid, update_id=update_id)

@@ -21,7 +21,7 @@ the resources they contributed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.network import NodeId
 from repro.util.ids import GUID

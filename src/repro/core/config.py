@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim.network import TopologyParams
+from repro.telemetry import TelemetryConfig
 
 
 @dataclass
@@ -45,6 +46,10 @@ class DeploymentConfig:
 
     #: RSA modulus bits for server/client identities (small: simulation)
     key_bits: int = 256
+
+    #: out-of-band observability (metrics + causal traces); off by default
+    #: so unobserved deployments pay nothing
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if self.byzantine_m < 1:

@@ -16,6 +16,7 @@ from repro.crypto.keys import Principal
 from repro.data.objects import PersistentObject
 from repro.introspect.hierarchy import IntrospectionNode
 from repro.sim.network import NodeId
+from repro.telemetry import coalesce
 from repro.util.ids import GUID
 
 
@@ -29,10 +30,12 @@ class OceanStoreServer:
     fragments: FragmentStore = field(default_factory=FragmentStore)
     access: AccessChecker = field(default_factory=AccessChecker)
     introspection: IntrospectionNode = None  # set in __post_init__
+    telemetry: object = None
 
     def __post_init__(self) -> None:
         if self.introspection is None:
             self.introspection = IntrospectionNode(node_id=self.network_id)
+        self.telemetry = coalesce(self.telemetry)
 
     @property
     def guid(self) -> GUID:
@@ -44,6 +47,8 @@ class OceanStoreServer:
         if obj is None:
             obj = PersistentObject(guid=guid)
             self.objects[guid] = obj
+            if self.telemetry.enabled:
+                self.telemetry.count("server_objects_created_total")
         return obj
 
     def has_object(self, guid: GUID) -> bool:

@@ -50,6 +50,7 @@ from repro.routing.service import LocationService
 from repro.sim.failures import FailureInjector
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network, NodeId, build_transit_stub_topology
+from repro.telemetry import Telemetry
 from repro.util import serialization
 from repro.util.ids import GUID
 from repro.util.rng import SeedSequence
@@ -112,10 +113,19 @@ class OceanStoreSystem:
         self.config = config or DeploymentConfig()
         seeds = SeedSequence(self.config.seed)
         self.kernel = Kernel()
+        #: metrics + causal tracing; the shared DISABLED singleton when
+        #: the config leaves telemetry off, so hot paths stay no-op.
+        self.telemetry = Telemetry.from_config(
+            self.config.telemetry, clock=lambda: self.kernel.now
+        )
+        if self.telemetry.enabled:
+            # Callbacks scheduled while a span is active inherit it, so
+            # one client update yields a single causal trace.
+            self.kernel.trace_wrapper = self.telemetry.wrap
         self.graph = build_transit_stub_topology(
             self.config.topology, seeds.derive("topology")
         )
-        self.network = Network(self.kernel, self.graph)
+        self.network = Network(self.kernel, self.graph, telemetry=self.telemetry)
         self.injector = FailureInjector(self.kernel, self.network, seeds.derive("failures"))
         self._rng = seeds.derive("system")
 
@@ -126,19 +136,26 @@ class OceanStoreSystem:
             principal = make_principal(
                 f"server-{node}", identity_rng, bits=self.config.key_bits
             )
-            self.servers[node] = OceanStoreServer(network_id=node, principal=principal)
+            self.servers[node] = OceanStoreServer(
+                network_id=node, principal=principal, telemetry=self.telemetry
+            )
 
         # -- data location ---------------------------------------------------
-        self.mesh = PlaxtonMesh(self.network, seeds.derive("mesh"))
+        self.mesh = PlaxtonMesh(
+            self.network, seeds.derive("mesh"), telemetry=self.telemetry
+        )
         self.mesh.populate(sorted(self.network.nodes()))
         self.probabilistic = ProbabilisticLocator(
             self.network,
             depth=self.config.bloom_depth,
             width=self.config.bloom_width,
             hashes=self.config.bloom_hashes,
+            telemetry=self.telemetry,
         )
         self.router = SaltedRouter(self.mesh, salts=self.config.salts)
-        self.location = LocationService(self.probabilistic, self.router)
+        self.location = LocationService(
+            self.probabilistic, self.router, telemetry=self.telemetry
+        )
 
         # -- consistency ---------------------------------------------------------
         transit_nodes = [
@@ -156,6 +173,7 @@ class OceanStoreSystem:
             self.ring_nodes,
             [self.servers[n].principal for n in self.ring_nodes],
             m=self.config.byzantine_m,
+            telemetry=self.telemetry,
         )
         self.ring.authorizer = self._authorize
         self.ring.on_execute(self._on_execute)
@@ -179,6 +197,7 @@ class OceanStoreSystem:
             self.network,
             {node: server.fragments for node, server in self.servers.items()},
             self.archive_index,
+            telemetry=self.telemetry,
         )
         self.fetcher = FragmentFetcher(
             self.kernel,
@@ -186,7 +205,9 @@ class OceanStoreSystem:
             {node: server.fragments for node, server in self.servers.items()},
             seeds.derive("fetch"),
         )
-        self.placer = FragmentPlacer(self._administrative_domains())
+        self.placer = FragmentPlacer(
+            self._administrative_domains(), telemetry=self.telemetry
+        )
         #: archival GUID bookkeeping per (object, version)
         self._archival_refs: dict[tuple[GUID, int], ArchivalReference] = {}
         self._archival_roots: dict[GUID, bytes] = {}
@@ -226,6 +247,7 @@ class OceanStoreSystem:
             root_contact=self.ring_nodes[0],
             rng=self._rng,
             max_fanout=self.config.dissemination_fanout,
+            telemetry=self.telemetry,
         )
         self.tiers[object_guid] = tier
         candidates = [
@@ -251,7 +273,11 @@ class OceanStoreSystem:
         if object_guid not in self.tiers:
             raise UnknownObject(f"no such object: {object_guid}")
         client = client_node if client_node is not None else self.ring_nodes[0]
-        result = self.location.locate(client, object_guid)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("reads_total", tentative="yes" if allow_tentative else "no")
+        with tel.span("read", client=client):
+            result = self.location.locate(client, object_guid)
         state = None
         if result.found and result.replica_node is not None:
             state = self._state_at(object_guid, result.replica_node, allow_tentative)
@@ -282,8 +308,12 @@ class OceanStoreSystem:
         spread through random secondary replicas."""
         if update.object_guid not in self.tiers:
             raise UnknownObject(f"no such object: {update.object_guid}")
-        self.ring.submit(client_node, update)
-        self.tiers[update.object_guid].submit_tentative(client_node, update)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("updates_submitted_total")
+        with tel.span("update.submit", client=client_node):
+            self.ring.submit(client_node, update)
+            self.tiers[update.object_guid].submit_tentative(client_node, update)
 
     def read_version(self, object_guid: GUID, version: int) -> DataObjectState:
         """A permanent read-only version: from the primary's version log
@@ -470,26 +500,28 @@ class OceanStoreSystem:
         if key in self._archival_refs:
             return self._archival_refs[key]
         data = serialize_state(primary.active)
-        archival = encode_archival(data, self.archival_code)
-        owner = self.object_owners.get(object_guid)
-        try:
-            plan = self.placer.plan(len(archival.fragments))
-            for fragment in archival.fragments:
-                target = plan.assignments[fragment.index]
-                self.servers[target].fragments.put(fragment)
-                if owner is not None:
-                    self.ledger.meter.record_storage(
-                        owner, target, float(len(fragment.payload))
-                    )
-        except PlacementError:
-            # Degenerate deployments (fewer servers than fragments):
-            # fall back to round-robin over live nodes.
-            nodes = [
-                n for n in sorted(self.network.nodes())
-                if not self.network.is_down(n)
-            ]
-            for i, fragment in enumerate(archival.fragments):
-                self.servers[nodes[i % len(nodes)]].fragments.put(fragment)
+        tel = self.telemetry
+        with tel.span("archival.archive", version=version):
+            archival = encode_archival(data, self.archival_code, telemetry=tel)
+            owner = self.object_owners.get(object_guid)
+            try:
+                plan = self.placer.plan(len(archival.fragments))
+                for fragment in archival.fragments:
+                    target = plan.assignments[fragment.index]
+                    self.servers[target].fragments.put(fragment)
+                    if owner is not None:
+                        self.ledger.meter.record_storage(
+                            owner, target, float(len(fragment.payload))
+                        )
+            except PlacementError:
+                # Degenerate deployments (fewer servers than fragments):
+                # fall back to round-robin over live nodes.
+                nodes = [
+                    n for n in sorted(self.network.nodes())
+                    if not self.network.is_down(n)
+                ]
+                for i, fragment in enumerate(archival.fragments):
+                    self.servers[nodes[i % len(nodes)]].fragments.put(fragment)
         self.archive_index.register(archival, self.archival_code)
         reference = ArchivalReference(
             version=version,
@@ -511,13 +543,14 @@ class OceanStoreSystem:
                 f"version {version} of {object_guid} was never archived"
             )
         client = client_node if client_node is not None else self.ring_nodes[0]
-        result = self.fetcher.fetch(
-            client,
-            reference.archival_guid.to_bytes(),
-            self.archival_code,
-            self._archival_roots[reference.archival_guid],
-            extra=2,
-        )
+        with self.telemetry.span("archival.restore", version=version):
+            result = self.fetcher.fetch(
+                client,
+                reference.archival_guid.to_bytes(),
+                self.archival_code,
+                self._archival_roots[reference.archival_guid],
+                extra=2,
+            )
         if not result.success or result.data is None:
             raise UnknownObject(
                 f"could not reconstruct {object_guid} v{version} from fragments"

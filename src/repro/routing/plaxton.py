@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.sim.network import Network, NodeId
+from repro.telemetry import coalesce
 from repro.util.ids import DIGIT_BITS, GUID, GUID_BITS, GUID_DIGITS
 from repro.util.rng import random_guid_value
 
@@ -113,9 +114,10 @@ class PlaxtonMesh:
     invariants incrementally.
     """
 
-    def __init__(self, network: Network, rng: random.Random) -> None:
+    def __init__(self, network: Network, rng: random.Random, telemetry=None) -> None:
         self.network = network
         self.rng = rng
+        self.telemetry = coalesce(telemetry)
         self.nodes: dict[NodeId, PlaxtonNode] = {}
         self._by_guid: dict[GUID, NodeId] = {}
         self.stats_publish_messages = 0
@@ -284,11 +286,18 @@ class PlaxtonMesh:
 
     def publish(self, replica_node: NodeId, object_guid: GUID) -> RouteTrace:
         """Deposit pointers from the replica's server up to the root."""
-        trace = self.route_to_root(replica_node, object_guid)
-        pointer = LocationPointer(object_guid=object_guid, replica_node=replica_node)
-        for nid in trace.path:
-            self.nodes[nid].add_pointer(pointer)
-            self.stats_publish_messages += 1
+        tel = self.telemetry
+        with tel.span("plaxton.publish", replica=replica_node):
+            trace = self.route_to_root(replica_node, object_guid)
+            pointer = LocationPointer(
+                object_guid=object_guid, replica_node=replica_node
+            )
+            for nid in trace.path:
+                self.nodes[nid].add_pointer(pointer)
+                self.stats_publish_messages += 1
+        if tel.enabled:
+            tel.count("plaxton_publishes_total")
+            tel.observe("plaxton_publish_hops", trace.hops)
         return trace
 
     def unpublish(self, replica_node: NodeId, object_guid: GUID) -> None:
@@ -305,6 +314,19 @@ class PlaxtonMesh:
         the root" (Figure 3 caption) -- ``trace.reached_root`` records
         whether this one did.
         """
+        tel = self.telemetry
+        if not tel.enabled:
+            return self._locate(start, object_guid)
+        with tel.span("plaxton.locate", start=start):
+            result = self._locate(start, object_guid)
+        tel.count(
+            "plaxton_locates_total", result="hit" if result.found else "miss"
+        )
+        tel.observe("plaxton_locate_hops", result.trace.hops)
+        tel.observe("plaxton_locate_latency_ms", result.trace.latency_ms)
+        return result
+
+    def _locate(self, start: NodeId, object_guid: GUID) -> LocateResult:
         if start not in self.nodes:
             raise RoutingError(f"unknown start node {start}")
         if self.network.is_down(start):

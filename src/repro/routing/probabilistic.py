@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.routing.bloom import AttenuatedBloomFilter, BloomFilter
 from repro.sim.network import Network, NodeId
+from repro.telemetry import coalesce
 from repro.util.ids import GUID
 
 
@@ -72,8 +73,10 @@ class ProbabilisticLocator:
         depth: int = 3,
         width: int = 2048,
         hashes: int = 4,
+        telemetry=None,
     ) -> None:
         self.network = network
+        self.telemetry = coalesce(telemetry)
         self.depth = depth
         self.width = width
         self.hashes = hashes
@@ -112,6 +115,7 @@ class ProbabilisticLocator:
         advertisements and pushes it to every neighbor.  Byte cost is
         tracked for overhead accounting.
         """
+        bytes_before = self.stats_refresh_bytes
         new_ads: dict[NodeId, AttenuatedBloomFilter] = {}
         for node, state in self._nodes.items():
             neighbor_ads = [
@@ -129,6 +133,13 @@ class ProbabilisticLocator:
                     continue
                 self._nodes[neighbor].neighbor_filters[node] = ad.copy()
                 self.stats_refresh_bytes += ad.size_bytes()
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("bloom_refresh_rounds_total")
+            tel.count(
+                "bloom_refresh_bytes_total",
+                self.stats_refresh_bytes - bytes_before,
+            )
 
     def converge(self) -> None:
         """Run enough rounds for full depth-D convergence."""
@@ -146,6 +157,17 @@ class ProbabilisticLocator:
         ``2 * depth`` -- beyond that the filters carry no signal and the
         query should fall back to the global algorithm.
         """
+        tel = self.telemetry
+        if not tel.enabled:
+            return self._query(start, guid, ttl)
+        with tel.span("bloom.query", start=start):
+            result = self._query(start, guid, ttl)
+        tel.count("bloom_queries_total", result="hit" if result.found else "miss")
+        tel.observe("bloom_query_hops", result.hops)
+        tel.observe("bloom_query_latency_ms", result.latency_ms)
+        return result
+
+    def _query(self, start: NodeId, guid: GUID, ttl: int | None) -> QueryResult:
         if ttl is None:
             ttl = 2 * self.depth
         path = [start]

@@ -21,6 +21,7 @@ from enum import Enum
 from repro.routing.probabilistic import ProbabilisticLocator
 from repro.routing.salt import SaltedRouter
 from repro.sim.network import NodeId
+from repro.telemetry import coalesce
 from repro.util.ids import GUID
 
 
@@ -43,18 +44,23 @@ class LocationService:
     """Find the closest replica: fast local attempt, reliable fallback."""
 
     def __init__(
-        self, probabilistic: ProbabilisticLocator, global_router: SaltedRouter
+        self,
+        probabilistic: ProbabilisticLocator,
+        global_router: SaltedRouter,
+        telemetry=None,
     ) -> None:
         self.probabilistic = probabilistic
         self.global_router = global_router
+        self.telemetry = coalesce(telemetry)
         self.stats_probabilistic_hits = 0
         self.stats_global_hits = 0
         self.stats_misses = 0
 
     def add_replica(self, node: NodeId, object_guid: GUID) -> None:
         """Register a replica with both tiers."""
-        self.probabilistic.add_object(node, object_guid)
-        self.global_router.publish(node, object_guid)
+        with self.telemetry.span("route.add_replica", node=node):
+            self.probabilistic.add_object(node, object_guid)
+            self.global_router.publish(node, object_guid)
 
     def remove_replica(self, node: NodeId, object_guid: GUID) -> None:
         self.probabilistic.remove_object(node, object_guid)

@@ -18,12 +18,13 @@ from repro.sim.network import (
     TopologyParams,
     build_transit_stub_topology,
 )
-from repro.sim.stats import Counter, Distribution
+from repro.sim.stats import Counter, Distribution, EmptyDistributionError
 
 __all__ = [
     "ChurnParams",
     "Counter",
     "Distribution",
+    "EmptyDistributionError",
     "EventHandle",
     "FailureInjector",
     "Kernel",

@@ -7,12 +7,24 @@ ties broken by insertion sequence so runs are fully deterministic.
 
 Virtual time is measured in milliseconds (floats), matching the paper's
 "assume each message takes 100 ms" framing in Section 4.4.5.
+
+Two optional safety/observability hooks (both default off):
+
+* :attr:`Kernel.trace_wrapper` -- a callable applied to every callback
+  at scheduling time.  The telemetry subsystem installs one that binds
+  the callback to the trace span current when it was scheduled, which is
+  how causal traces cross scheduling boundaries.
+* :attr:`Kernel.step_cap` / :attr:`Kernel.wall_time_budget` -- guards
+  against a mis-wired callback that reschedules itself forever: exceed
+  either inside one :meth:`Kernel.run` and the kernel raises
+  :class:`SimulationError` naming the offending callback.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -23,6 +35,16 @@ class _ScheduledEvent:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    label: str | None = field(default=None, compare=False)
+
+
+def _describe_event(event: _ScheduledEvent | None) -> str:
+    if event is None:
+        return "<no event executed>"
+    if event.label is not None:
+        return event.label
+    callback = event.callback
+    return getattr(callback, "__qualname__", None) or repr(callback)
 
 
 class EventHandle:
@@ -46,7 +68,8 @@ class EventHandle:
 
 
 class SimulationError(RuntimeError):
-    """Raised for kernel misuse (e.g. scheduling in the past)."""
+    """Raised for kernel misuse (e.g. scheduling in the past) or for a
+    run that blows through its step cap / wall-time budget."""
 
 
 class Kernel:
@@ -64,6 +87,15 @@ class Kernel:
         self._sequence = itertools.count()
         self._now = 0.0
         self._events_executed = 0
+        #: optional hook applied to every callback at scheduling time
+        #: (telemetry trace propagation); signature: (callback) -> callback
+        self.trace_wrapper: Callable[
+            [Callable[[], None]], Callable[[], None]
+        ] | None = None
+        #: max events per run() before SimulationError (None = unlimited)
+        self.step_cap: int | None = None
+        #: max real seconds per run() before SimulationError (None = unlimited)
+        self.wall_time_budget: float | None = None
 
     @property
     def now(self) -> float:
@@ -79,19 +111,35 @@ class Kernel:
         """Number of queued (possibly cancelled) events."""
         return sum(1 for ev in self._queue if not ev.cancelled)
 
-    def call_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` at absolute virtual time ``time``."""
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        label: str | None = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``.
+
+        ``label`` names the event in guard diagnostics (defaults to the
+        callback's qualified name).
+        """
         if time < self._now:
             raise SimulationError(f"cannot schedule at {time} < now {self._now}")
-        event = _ScheduledEvent(time, next(self._sequence), callback)
+        if self.trace_wrapper is not None:
+            callback = self.trace_wrapper(callback)
+        event = _ScheduledEvent(time, next(self._sequence), callback, label=label)
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
-    def call_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+    def call_after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: str | None = None,
+    ) -> EventHandle:
         """Schedule ``callback`` after ``delay`` ms of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, callback)
+        return self.call_at(self._now + delay, callback, label=label)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
@@ -100,11 +148,30 @@ class Kernel:
         ``until`` is inclusive: an event scheduled exactly at ``until``
         runs.  After the run, ``now`` is the time of the last executed
         event (or ``until``, if given and later).
+
+        If :attr:`step_cap` or :attr:`wall_time_budget` is set and this
+        run exceeds it, :class:`SimulationError` is raised naming the
+        most recently executed callback -- the usual suspect when an
+        instrumentation hook reschedules itself unconditionally.
         """
         executed = 0
+        deadline: float | None = None
+        if self.wall_time_budget is not None:
+            deadline = time.perf_counter() + self.wall_time_budget
+        last_event: _ScheduledEvent | None = None
         while self._queue:
             if max_events is not None and executed >= max_events:
                 break
+            if self.step_cap is not None and executed >= self.step_cap:
+                raise SimulationError(
+                    f"step cap of {self.step_cap} events exceeded in one "
+                    f"run(); last callback: {_describe_event(last_event)}"
+                )
+            if deadline is not None and time.perf_counter() > deadline:
+                raise SimulationError(
+                    f"wall-time budget of {self.wall_time_budget}s exceeded "
+                    f"in one run(); last callback: {_describe_event(last_event)}"
+                )
             event = self._queue[0]
             if event.cancelled:
                 heapq.heappop(self._queue)
@@ -114,6 +181,7 @@ class Kernel:
             heapq.heappop(self._queue)
             self._now = event.time
             event.callback()
+            last_event = event
             executed += 1
             self._events_executed += 1
         if until is not None and until > self._now:
@@ -145,6 +213,7 @@ class Timer:
         interval: float,
         callback: Callable[[], None],
         jitter: Callable[[], float] | None = None,
+        label: str | None = None,
     ) -> None:
         if interval <= 0:
             raise SimulationError(f"timer interval must be positive: {interval}")
@@ -152,6 +221,7 @@ class Timer:
         self._interval = interval
         self._callback = callback
         self._jitter = jitter
+        self._label = label
         self._handle: EventHandle | None = None
         self._running = False
 
@@ -175,7 +245,9 @@ class Timer:
         delay = self._interval
         if self._jitter is not None:
             delay += self._jitter()
-        self._handle = self._kernel.call_after(max(delay, 0.0), self._fire)
+        self._handle = self._kernel.call_after(
+            max(delay, 0.0), self._fire, label=self._label
+        )
 
     def _fire(self) -> None:
         if not self._running:

@@ -126,9 +126,13 @@ class Network:
     #: Fixed per-message processing overhead (serialization, queuing).
     PER_MESSAGE_OVERHEAD_MS = 1.0
 
-    def __init__(self, kernel: Kernel, graph: nx.Graph) -> None:
+    def __init__(self, kernel: Kernel, graph: nx.Graph, telemetry=None) -> None:
         self.kernel = kernel
         self.graph = graph
+        #: optional telemetry facade (duck-typed so :mod:`repro.sim` stays
+        #: a leaf package; see :mod:`repro.telemetry`).  ``None`` means
+        #: uninstrumented -- the hot path guards on it.
+        self.telemetry = telemetry
         self._handlers: dict[NodeId, list[Callable[[Message], None]]] = {}
         self._down: set[NodeId] = set()
         self._partitions: list[tuple[set[NodeId], set[NodeId]]] = []
@@ -242,20 +246,35 @@ class Network:
         link.messages += 1
         link.bytes += size_bytes
 
+        tel = self.telemetry
+        instrumented = tel is not None and tel.enabled
+        if instrumented:
+            tel.count("net_messages_total", kind=type(payload).__name__)
+            tel.observe("net_message_bytes", size_bytes)
         if src in self._down or dst in self._down or self._partitioned(src, dst):
             self.stats_dropped += 1
+            if instrumented:
+                tel.count("net_dropped_total", reason="unreachable")
             return
         delay = self.latency_ms(src, dst) + self.PER_MESSAGE_OVERHEAD_MS
 
         def deliver() -> None:
             if dst in self._down or self._partitioned(src, dst):
                 self.stats_dropped += 1
+                if instrumented:
+                    tel.count("net_dropped_total", reason="unreachable")
                 return
             handlers = self._handlers.get(dst)
             if not handlers:
                 self.stats_dropped += 1
+                if instrumented:
+                    tel.count("net_dropped_total", reason="unregistered")
                 return
             for handler in list(handlers):
                 handler(message)
 
+        # Trace-context capture happens inside call_after when the
+        # kernel's trace_wrapper is installed: the delivery callback (and
+        # hence every span the destination handler opens) binds to the
+        # span that was current at send time.
         self.kernel.call_after(delay, deliver)

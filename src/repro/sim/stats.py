@@ -3,13 +3,29 @@
 Benchmarks need summary statistics (means, percentiles) over measured
 latencies, hop counts, and byte totals.  ``numpy`` is available but the
 sample sizes here are modest, so a small pure-Python accumulator keeps the
-dependency surface of the simulation core thin.
+dependency surface of the simulation core thin.  The telemetry subsystem
+(:mod:`repro.telemetry`) builds its histograms on :class:`Distribution`,
+so quantile code lives in exactly one place.
+
+Edge-case contract (explicit, and uniform across every statistic):
+
+* **empty** distributions raise :class:`EmptyDistributionError` (a
+  ``ValueError``) from ``mean``/``stdev``/``min``/``max``/
+  ``percentile``/``median``/``summary`` -- never a silent ``0.0`` that
+  could be mistaken for a measurement;
+* **single-sample** distributions are well-defined: ``mean``/``min``/
+  ``max`` and every percentile equal the sample, and ``stdev`` is
+  ``0.0`` (no spread observed, not an error).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+
+
+class EmptyDistributionError(ValueError):
+    """A statistic was requested from a distribution with no samples."""
 
 
 @dataclass
@@ -24,19 +40,24 @@ class Distribution:
     def extend(self, values: list[float]) -> None:
         self.samples.extend(float(v) for v in values)
 
+    def _require_samples(self) -> None:
+        if not self.samples:
+            raise EmptyDistributionError("empty distribution")
+
     @property
     def count(self) -> int:
         return len(self.samples)
 
     @property
     def mean(self) -> float:
-        if not self.samples:
-            raise ValueError("empty distribution")
+        self._require_samples()
         return sum(self.samples) / len(self.samples)
 
     @property
     def stdev(self) -> float:
-        if len(self.samples) < 2:
+        """Sample standard deviation; ``0.0`` for a single sample."""
+        self._require_samples()
+        if len(self.samples) == 1:
             return 0.0
         mu = self.mean
         var = sum((x - mu) ** 2 for x in self.samples) / (len(self.samples) - 1)
@@ -44,20 +65,17 @@ class Distribution:
 
     @property
     def min(self) -> float:
-        if not self.samples:
-            raise ValueError("empty distribution")
+        self._require_samples()
         return min(self.samples)
 
     @property
     def max(self) -> float:
-        if not self.samples:
-            raise ValueError("empty distribution")
+        self._require_samples()
         return max(self.samples)
 
     def percentile(self, p: float) -> float:
         """Linear-interpolation percentile, ``p`` in [0, 100]."""
-        if not self.samples:
-            raise ValueError("empty distribution")
+        self._require_samples()
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
         ordered = sorted(self.samples)
@@ -76,6 +94,7 @@ class Distribution:
         return self.percentile(50)
 
     def summary(self) -> dict[str, float]:
+        self._require_samples()
         return {
             "count": float(self.count),
             "mean": self.mean,

@@ -1,0 +1,192 @@
+"""Out-of-band observability for the reproduction's own internals.
+
+The paper's introspection layer (:mod:`repro.introspect`) models the
+*mechanism described by the paper* -- observation modules feeding
+optimization modules.  This package is different: it watches the
+reproduction itself, answering "where did this update's latency go?" and
+"how many Bloom queries missed per node?" without editing source.
+
+Two pieces:
+
+* a process-wide **metrics registry** (:mod:`repro.telemetry.metrics`)
+  -- counters, gauges, and histograms keyed by name + label tuples, with
+  label-cardinality limits and JSON export compatible with the
+  ``benchmarks/results/*.json`` shape;
+* **causal trace spans** (:mod:`repro.telemetry.tracing`) propagated
+  through kernel scheduling and network message delivery, so one client
+  update yields a single span tree covering Bloom lookups, Plaxton
+  routing, PBFT phases, dissemination-tree pushes, and archival
+  encode/placement.
+
+Everything defaults to **off**: instrumented components take an optional
+``telemetry`` argument and fall back to :data:`DISABLED`, a shared null
+object whose methods do nothing, so the disabled path costs one
+attribute load per instrumentation site.  Hot paths additionally guard
+on ``telemetry.enabled`` to skip even argument construction.  (The
+simulation kernel and network stay import-free of this package: they
+accept any object with this interface, keeping :mod:`repro.sim` a leaf.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.telemetry.metrics import (
+    OVERFLOW_KEY,
+    MetricsRegistry,
+    flatten_name,
+    label_key,
+)
+from repro.telemetry.tracing import NULL_SPAN, Span, Tracer
+
+
+class NullTelemetry:
+    """The disabled telemetry object: every operation is a no-op.
+
+    A single shared instance (:data:`DISABLED`) serves the entire
+    process; ``span`` returns one preallocated null context manager, and
+    ``wrap`` returns its argument unchanged, so leaving instrumentation
+    in place costs essentially nothing when telemetry is off.
+    """
+
+    enabled = False
+
+    def count(self, name: str, value: float = 1, **labels: object) -> None:
+        return None
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        return None
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        return None
+
+    def span(self, name: str, **labels: object):
+        return NULL_SPAN
+
+    def wrap(self, callback: Callable[[], None]) -> Callable[[], None]:
+        return callback
+
+    def export(self, spans: bool = False) -> dict:
+        return {}
+
+    def render_spans(self, max_depth: int | None = None) -> str:
+        return ""
+
+    def reset(self) -> None:
+        return None
+
+
+#: The process-wide disabled singleton every component defaults to.
+DISABLED = NullTelemetry()
+
+
+def coalesce(telemetry) -> "Telemetry | NullTelemetry":
+    """``telemetry`` if given, else the shared disabled singleton."""
+    return telemetry if telemetry is not None else DISABLED
+
+
+@dataclass
+class TelemetryConfig:
+    """Deployment knob for the telemetry subsystem (default: off)."""
+
+    enabled: bool = False
+    #: record causal trace spans (metrics stay on regardless)
+    trace: bool = True
+    #: distinct label sets per metric before folding into overflow
+    max_label_sets: int = 64
+    #: spans retained per run before new spans are dropped
+    max_spans: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.max_label_sets < 1:
+            raise ValueError("max_label_sets must be >= 1")
+        if self.max_spans < 0:
+            raise ValueError("max_spans must be >= 0")
+
+
+class Telemetry:
+    """Live telemetry: a metrics registry plus a tracer, one facade.
+
+    ``clock`` supplies span timestamps -- wire it to the simulation
+    kernel's virtual clock so traces are deterministic.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        config: TelemetryConfig | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.config = config or TelemetryConfig(enabled=True)
+        self.metrics = MetricsRegistry(max_label_sets=self.config.max_label_sets)
+        self.tracer = Tracer(clock=clock, max_spans=self.config.max_spans)
+
+    # -- metrics ----------------------------------------------------------
+
+    def count(self, name: str, value: float = 1, **labels: object) -> None:
+        self.metrics.inc(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        self.metrics.set_gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.metrics.observe(name, value, **labels)
+
+    # -- tracing ----------------------------------------------------------
+
+    def span(self, name: str, **labels: object):
+        if not self.config.trace:
+            return NULL_SPAN
+        return self.tracer.span(name, **labels)
+
+    def wrap(self, callback: Callable[[], None]) -> Callable[[], None]:
+        """Kernel trace hook: bind a callback to the current span."""
+        if not self.config.trace:
+            return callback
+        return self.tracer.wrap(callback)
+
+    # -- export -----------------------------------------------------------
+
+    def export(self, spans: bool = False) -> dict:
+        """JSON-able snapshot; pass ``spans=True`` to include the trace
+        forest alongside the metric series."""
+        out = self.metrics.export()
+        if spans:
+            out["spans"] = self.tracer.span_tree()
+        return out
+
+    def render_spans(self, max_depth: int | None = None) -> str:
+        return self.tracer.render(max_depth=max_depth)
+
+    def reset(self) -> None:
+        self.metrics.reset()
+        self.tracer.reset()
+
+    @classmethod
+    def from_config(
+        cls,
+        config: TelemetryConfig,
+        clock: Callable[[], float] | None = None,
+    ) -> "Telemetry | NullTelemetry":
+        """The configured instance, or :data:`DISABLED` when off."""
+        if not config.enabled:
+            return DISABLED
+        return cls(config, clock=clock)
+
+
+__all__ = [
+    "DISABLED",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullTelemetry",
+    "OVERFLOW_KEY",
+    "Span",
+    "Telemetry",
+    "TelemetryConfig",
+    "Tracer",
+    "coalesce",
+    "flatten_name",
+    "label_key",
+]

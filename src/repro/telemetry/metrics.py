@@ -1,0 +1,132 @@
+"""Process-wide metrics registry: counters, gauges, and histograms.
+
+Metrics are keyed by name plus a tuple of ``label=value`` pairs, in the
+style of Prometheus client libraries.  Histograms reuse
+:class:`repro.sim.stats.Distribution` so every quantile the benchmarks
+report comes from one implementation.
+
+Label sets are bounded per metric name: once a metric has accumulated
+``max_label_sets`` distinct label combinations, further combinations fold
+into a single reserved overflow series (and are counted in
+:attr:`MetricsRegistry.dropped_label_sets`) instead of growing memory
+without bound -- mis-labelled instrumentation degrades gracefully rather
+than taking the process down.
+"""
+
+from __future__ import annotations
+
+from repro.sim.stats import Distribution
+
+#: label-set key: sorted tuple of (label, value) string pairs
+LabelKey = tuple[tuple[str, str], ...]
+
+#: reserved series that absorbs label sets beyond the cardinality cap
+OVERFLOW_KEY: LabelKey = (("overflow", "true"),)
+
+
+def label_key(labels: dict[str, object]) -> LabelKey:
+    """Canonical, hashable form of a label mapping."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def flatten_name(name: str, key: LabelKey) -> str:
+    """``name{k=v,...}`` rendering used for JSON export and tables."""
+    if not key:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms with label-cardinality limits.
+
+    All mutation methods are cheap (a dict lookup and an add); the
+    zero-overhead disabled path lives one level up, in
+    :class:`repro.telemetry.NullTelemetry`.
+    """
+
+    def __init__(self, max_label_sets: int = 64) -> None:
+        if max_label_sets < 1:
+            raise ValueError("max_label_sets must be >= 1")
+        self.max_label_sets = max_label_sets
+        self._counters: dict[str, dict[LabelKey, float]] = {}
+        self._gauges: dict[str, dict[LabelKey, float]] = {}
+        self._histograms: dict[str, dict[LabelKey, Distribution]] = {}
+        #: label sets folded into the overflow series, by metric name
+        self.dropped_label_sets: dict[str, int] = {}
+
+    # -- internal ---------------------------------------------------------
+
+    def _key_for(self, name: str, series: dict, labels: dict) -> LabelKey:
+        key = label_key(labels)
+        if key in series or len(series) < self.max_label_sets:
+            return key
+        self.dropped_label_sets[name] = self.dropped_label_sets.get(name, 0) + 1
+        return OVERFLOW_KEY
+
+    # -- mutation ---------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: object) -> None:
+        series = self._counters.setdefault(name, {})
+        key = self._key_for(name, series, labels)
+        series[key] = series.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        series = self._gauges.setdefault(name, {})
+        key = self._key_for(name, series, labels)
+        series[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        series = self._histograms.setdefault(name, {})
+        key = self._key_for(name, series, labels)
+        dist = series.get(key)
+        if dist is None:
+            dist = series[key] = Distribution()
+        dist.add(value)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.dropped_label_sets.clear()
+
+    # -- reads ------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        return self._counters.get(name, {}).get(label_key(labels), 0)
+
+    def gauge_value(self, name: str, **labels: object) -> float | None:
+        return self._gauges.get(name, {}).get(label_key(labels))
+
+    def histogram(self, name: str, **labels: object) -> Distribution | None:
+        return self._histograms.get(name, {}).get(label_key(labels))
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter across every label set."""
+        return sum(self._counters.get(name, {}).values())
+
+    def label_sets(self, name: str) -> list[LabelKey]:
+        for table in (self._counters, self._gauges, self._histograms):
+            if name in table:
+                return list(table[name])
+        return []
+
+    # -- export -----------------------------------------------------------
+
+    def export(self) -> dict:
+        """Plain JSON-able dict, same shape discipline as the
+        ``benchmarks/results/*.json`` files (string keys, numbers/dicts
+        as values) so traces and benchmark series can live side by side.
+        """
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, series in sorted(self._counters.items()):
+            for key, value in sorted(series.items()):
+                out["counters"][flatten_name(name, key)] = value
+        for name, series in sorted(self._gauges.items()):
+            for key, value in sorted(series.items()):
+                out["gauges"][flatten_name(name, key)] = value
+        for name, series in sorted(self._histograms.items()):
+            for key, dist in sorted(series.items()):
+                out["histograms"][flatten_name(name, key)] = dist.summary()
+        if self.dropped_label_sets:
+            out["dropped_label_sets"] = dict(sorted(self.dropped_label_sets.items()))
+        return out

@@ -142,7 +142,6 @@ class TestOceanStoreHandle:
 
     def test_unknown_object_read_fails(self, handle_env):
         store, _ = handle_env
-        principal = store.principal
         store.keyring.create_object_key(GUID.hash_of(b"ghost"))
         ghost = store.open_object(GUID.hash_of(b"ghost"))
         with pytest.raises(UnknownObject):

@@ -1,7 +1,5 @@
 """Integration tests: the full deployment behind the client API."""
 
-import random
-
 import pytest
 
 from repro.access import ACL, ACLCertificate, Privilege
@@ -9,7 +7,6 @@ from repro.api import ApiEvent, SessionGuarantee, UnknownObject
 from repro.api.facades import FileSystemFacade, TransactionalFacade
 from repro.consistency import FaultMode
 from repro.core import DeploymentConfig, OceanStoreSystem, make_client
-from repro.crypto import make_principal
 from repro.sim import TopologyParams
 
 

@@ -20,7 +20,6 @@ from repro.data import (
 )
 from repro.introspect import ConfidenceEstimator
 from repro.naming import (
-    Directory,
     DirectoryRecordError,
     VersionedName,
     bind_record,
@@ -279,7 +278,7 @@ class TestRevocationReencryption:
         owner = store_env
         obj = owner.create_object("rotating")
         owner.write(obj, b"round one")
-        new_handle = owner.revoke_readers(obj)
+        owner.revoke_readers(obj)
         bob = make_principal("bob2", random.Random(65), bits=256)
         bob_ring = KeyRing(bob, random.Random(66))
         owner.grant_read(obj.guid, bob_ring)  # grants the *new* generation

@@ -23,7 +23,7 @@ from repro.naming import (
     split_path,
     verify_object_guid,
 )
-from repro.util import GUID, GUID_BITS
+from repro.util import GUID
 
 
 @pytest.fixture(scope="module")

@@ -3,11 +3,10 @@
 import random
 
 import networkx as nx
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.archival import CodingError, ReedSolomonCode, encode_archival, reconstruct_archival
+from repro.archival import ReedSolomonCode, encode_archival, reconstruct_archival
 from repro.consistency import normalized_cost, update_cost_bytes
 from repro.core.system import deserialize_state, serialize_state
 from repro.data import (

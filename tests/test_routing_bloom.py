@@ -1,7 +1,5 @@
 """Tests for Bloom filters and the probabilistic location tier."""
 
-import random
-
 import networkx as nx
 import pytest
 from hypothesis import given, settings

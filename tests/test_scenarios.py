@@ -3,8 +3,6 @@ against the full simulated deployment."""
 
 import random
 
-import pytest
-
 from repro.api import SessionGuarantee
 from repro.api.facades import FileSystemFacade, TransactionalFacade, WebGateway
 from repro.consistency import FaultMode

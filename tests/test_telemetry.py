@@ -1,0 +1,382 @@
+"""Tests for the telemetry subsystem: metrics registry, causal tracing,
+kernel propagation, runaway guards, and the instrumented deployment."""
+
+import pytest
+
+from repro.sim.kernel import Kernel, SimulationError
+from repro.sim.network import TopologyParams
+from repro.sim.stats import Distribution, EmptyDistributionError
+from repro.telemetry import (
+    DISABLED,
+    NULL_SPAN,
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    TelemetryConfig,
+    Tracer,
+    coalesce,
+    flatten_name,
+    label_key,
+)
+from repro.telemetry.metrics import OVERFLOW_KEY
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.inc("msgs", phase="prepare")
+        reg.inc("msgs", 2, phase="prepare")
+        reg.inc("msgs", phase="commit")
+        assert reg.counter_value("msgs", phase="prepare") == 3
+        assert reg.counter_value("msgs", phase="commit") == 1
+        assert reg.counter_total("msgs") == 4
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3, node=1)
+        reg.set_gauge("depth", 5, node=1)
+        assert reg.gauge_value("depth", node=1) == 5.0
+        assert reg.gauge_value("depth", node=2) is None
+
+    def test_histogram_reuses_distribution(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("latency", v)
+        dist = reg.histogram("latency")
+        assert isinstance(dist, Distribution)
+        assert dist.count == 3
+        assert dist.mean == 2.0
+
+    def test_label_cardinality_folds_into_overflow(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        reg.inc("hits", node=1)
+        reg.inc("hits", node=2)
+        reg.inc("hits", node=3)  # third distinct set: folded
+        reg.inc("hits", node=4)
+        reg.inc("hits", node=1)  # existing set: still direct
+        assert reg.counter_value("hits", node=1) == 2
+        assert reg.counter_value("hits", overflow="true") == 2
+        assert reg.dropped_label_sets["hits"] == 2
+        assert OVERFLOW_KEY in reg.label_sets("hits")
+        # totals survive the fold
+        assert reg.counter_total("hits") == 5
+
+    def test_label_key_is_order_independent(self):
+        assert label_key({"a": 1, "b": 2}) == label_key({"b": 2, "a": 1})
+        assert flatten_name("m", label_key({"b": 2, "a": 1})) == "m{a=1,b=2}"
+
+    def test_export_shape_round_trips_through_json(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.inc("c", phase="x")
+        reg.set_gauge("g", 1.5)
+        reg.observe("h", 10.0, tier="fast")
+        out = json.loads(json.dumps(reg.export()))
+        assert out["counters"]["c{phase=x}"] == 1
+        assert out["gauges"]["g"] == 1.5
+        summary = out["histograms"]["h{tier=fast}"]
+        assert summary["count"] == 1.0
+        assert summary["p50"] == 10.0
+        assert "dropped_label_sets" not in out
+
+
+class TestTracer:
+    def test_nesting_builds_parent_child_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", k="v"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        roots = tracer.span_tree()
+        assert len(roots) == 1
+        assert roots[0]["name"] == "outer"
+        assert [c["name"] for c in roots[0]["children"]] == ["inner", "sibling"]
+        assert roots[0]["children"][0]["labels"] == {"k": "v"}
+
+    def test_wrap_carries_context_across_deferred_execution(self):
+        tracer = Tracer()
+        deferred = []
+        with tracer.span("request"):
+            def handler():
+                with tracer.span("handled"):
+                    pass
+            deferred.append(tracer.wrap(handler))
+        # Executed later, outside any active span.
+        deferred[0]()
+        roots = tracer.span_tree()
+        assert len(roots) == 1
+        assert [c["name"] for c in roots[0]["children"]] == ["handled"]
+
+    def test_wrap_without_current_span_returns_callback_unchanged(self):
+        tracer = Tracer()
+        def callback():
+            pass
+        assert tracer.wrap(callback) is callback
+
+    def test_span_cap_drops_and_counts(self):
+        tracer = Tracer(max_spans=1)
+        with tracer.span("kept"):
+            pass
+        assert tracer.span("dropped") is NULL_SPAN
+        assert tracer.dropped == 1
+        assert "dropped past cap" in tracer.render()
+
+    def test_clock_supplies_timestamps(self):
+        times = iter([10.0, 25.0])
+        tracer = Tracer(clock=lambda: next(times))
+        with tracer.span("op") as span:
+            pass
+        assert span.start_ms == 10.0
+        assert span.end_ms == 25.0
+        assert span.duration_ms == 15.0
+
+
+class TestKernelPropagation:
+    def test_spans_nest_across_call_at(self):
+        kernel = Kernel()
+        telemetry = Telemetry(clock=lambda: kernel.now)
+        kernel.trace_wrapper = telemetry.wrap
+
+        def later():
+            with telemetry.span("later"):
+                pass
+
+        with telemetry.span("root"):
+            kernel.call_after(5.0, later)
+        kernel.run()
+        roots = telemetry.tracer.span_tree()
+        assert len(roots) == 1
+        assert [c["name"] for c in roots[0]["children"]] == ["later"]
+        assert roots[0]["children"][0]["start_ms"] == 5.0
+
+    def test_chained_scheduling_extends_one_tree(self):
+        kernel = Kernel()
+        telemetry = Telemetry(clock=lambda: kernel.now)
+        kernel.trace_wrapper = telemetry.wrap
+
+        def second():
+            with telemetry.span("second"):
+                pass
+
+        def first():
+            with telemetry.span("first"):
+                kernel.call_after(1.0, second)
+
+        with telemetry.span("root"):
+            kernel.call_after(1.0, first)
+        kernel.run()
+        roots = telemetry.tracer.span_tree()
+        first_node = roots[0]["children"][0]
+        assert first_node["name"] == "first"
+        assert [c["name"] for c in first_node["children"]] == ["second"]
+
+
+class TestKernelGuards:
+    def test_step_cap_raises_with_label(self):
+        kernel = Kernel()
+        kernel.step_cap = 10
+
+        def tick():
+            kernel.call_after(1.0, tick, label="runaway-tick")
+
+        kernel.call_after(1.0, tick, label="runaway-tick")
+        with pytest.raises(SimulationError, match="runaway-tick"):
+            kernel.run()
+
+    def test_step_cap_resets_between_runs(self):
+        kernel = Kernel()
+        kernel.step_cap = 5
+        for i in range(4):
+            kernel.call_after(float(i + 1), lambda: None)
+        kernel.run()  # 4 events < cap
+        for i in range(4):
+            kernel.call_after(float(i + 1), lambda: None)
+        kernel.run()  # cap applies per run(), not cumulatively
+
+    def test_wall_time_budget_raises(self):
+        kernel = Kernel()
+        kernel.wall_time_budget = 0.0  # expires immediately
+
+        def slow():
+            pass
+
+        kernel.call_after(1.0, slow)
+        with pytest.raises(SimulationError, match="wall-time budget"):
+            kernel.run()
+
+
+class TestDisabledPath:
+    def test_disabled_singleton_is_shared(self):
+        assert coalesce(None) is DISABLED
+        telemetry = Telemetry()
+        assert coalesce(telemetry) is telemetry
+
+    def test_null_telemetry_is_inert(self):
+        null = NullTelemetry()
+        assert null.enabled is False
+        null.count("x", 5, a="b")
+        null.gauge("x", 1.0)
+        null.observe("x", 2.0)
+        assert null.span("x", a="b") is NULL_SPAN
+        assert null.export() == {}
+        assert null.render_spans() == ""
+
+    def test_null_wrap_returns_callback_identity(self):
+        def callback():
+            pass
+        assert DISABLED.wrap(callback) is callback
+
+    def test_from_config_returns_disabled_when_off(self):
+        assert Telemetry.from_config(TelemetryConfig()) is DISABLED
+        live = Telemetry.from_config(TelemetryConfig(enabled=True))
+        assert live.enabled is True
+
+    def test_trace_off_keeps_metrics_on(self):
+        telemetry = Telemetry(TelemetryConfig(enabled=True, trace=False))
+        assert telemetry.span("x") is NULL_SPAN
+        def callback():
+            pass
+        assert telemetry.wrap(callback) is callback
+        telemetry.count("c")
+        assert telemetry.metrics.counter_value("c") == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(max_label_sets=0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(max_spans=-1)
+
+
+class TestDistributionEdgeCases:
+    def test_empty_distribution_raises_specific_error(self):
+        dist = Distribution()
+        for method in (lambda: dist.mean, lambda: dist.stdev,
+                       lambda: dist.min, lambda: dist.max,
+                       lambda: dist.percentile(50), lambda: dist.summary()):
+            with pytest.raises(EmptyDistributionError):
+                method()
+
+    def test_empty_error_is_a_value_error(self):
+        dist = Distribution()
+        with pytest.raises(ValueError):
+            _ = dist.mean
+
+    def test_single_sample_contract(self):
+        dist = Distribution()
+        dist.add(7.0)
+        assert dist.mean == 7.0
+        assert dist.stdev == 0.0
+        assert dist.percentile(0) == 7.0
+        assert dist.percentile(100) == 7.0
+        summary = dist.summary()
+        assert summary["count"] == 1.0
+        assert summary["p50"] == 7.0
+
+
+@pytest.fixture(scope="module")
+def traced_system():
+    """A small instrumented deployment with one committed, traced write."""
+    from repro.core import DeploymentConfig, OceanStoreSystem, make_client
+
+    system = OceanStoreSystem(
+        DeploymentConfig(
+            topology=TopologyParams(
+                transit_nodes=4, stubs_per_transit=1, nodes_per_stub=4
+            ),
+            secondaries_per_object=3,
+            telemetry=TelemetryConfig(enabled=True),
+        )
+    )
+    client = make_client(system, "alice", seed=7)
+    handle = client.create_object("traced")
+    system.settle()
+    system.telemetry.reset()
+    with system.telemetry.span("scenario"):
+        result = client.write(handle, b"trace me")
+        system.settle()
+    assert result.committed
+    return system
+
+
+def _collect_names(node, out):
+    out.add(node["name"])
+    for child in node["children"]:
+        _collect_names(child, out)
+
+
+class TestInstrumentedDeployment:
+    def test_single_update_yields_one_trace_across_subsystems(self, traced_system):
+        roots = traced_system.telemetry.tracer.span_tree()
+        assert len(roots) == 1  # ONE tree for the whole update
+        names = set()
+        _collect_names(roots[0], names)
+        assert "bloom.query" in names          # routing
+        assert "pbft.request" in names         # agreement entry
+        assert "pbft.pre_prepare" in names     # agreement ordering
+        assert "pbft.execute" in names         # agreement execution
+        assert "dissem.push" in names          # dissemination tree
+        assert "archival.encode" in names      # archival side-effect
+
+    def test_pbft_phase_counts_match_protocol(self, traced_system):
+        metrics = traced_system.telemetry.metrics
+        n = traced_system.ring.n
+        # Section 4.4.5 six-phase structure: request (client -> n
+        # replicas), pre-prepare (leader -> n-1), prepare and commit
+        # (all-to-all), sign-share after execution, then the
+        # dissemination push counted separately.
+        assert metrics.counter_value("pbft_messages_total", phase="request") == n
+        assert metrics.counter_value("pbft_messages_total", phase="pre_prepare") == n - 1
+        assert metrics.counter_value("pbft_messages_total", phase="prepare") == (n - 1) ** 2
+        assert metrics.counter_value("pbft_messages_total", phase="commit") == n * (n - 1)
+        assert metrics.counter_value("pbft_messages_total", phase="sign_share") == n * (n - 1)
+        assert metrics.counter_total("dissemination_messages_total") > 0
+
+    def test_export_includes_all_series(self, traced_system):
+        import json
+
+        export = json.loads(json.dumps(traced_system.telemetry.export(spans=True)))
+        assert any(k.startswith("pbft_messages_total") for k in export["counters"])
+        assert any(k.startswith("net_message_bytes") for k in export["histograms"])
+        assert export["spans"][0]["name"] == "scenario"
+
+    def test_disabled_system_records_nothing(self):
+        from repro.core import DeploymentConfig, OceanStoreSystem, make_client
+
+        system = OceanStoreSystem(
+            DeploymentConfig(
+                topology=TopologyParams(
+                    transit_nodes=4, stubs_per_transit=1, nodes_per_stub=4
+                ),
+                secondaries_per_object=2,
+            )
+        )
+        assert system.telemetry is DISABLED
+        assert system.kernel.trace_wrapper is None
+        client = make_client(system, "bob", seed=3)
+        handle = client.create_object("untraced")
+        result = client.write(handle, b"quiet")
+        assert result.committed
+        assert system.telemetry.export() == {}
+
+
+class TestTelemetryCLI:
+    def test_update_path_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["telemetry", "--scenario", "update-path", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario.update-path" in out
+        assert "pbft.pre_prepare" in out
+        assert "pbft_messages_total{phase=prepare}" in out
+
+    def test_json_mode_is_parseable(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["telemetry", "--json", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert "spans" in data and "counters" in data

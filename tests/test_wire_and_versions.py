@@ -26,7 +26,6 @@ from repro.data import (
 )
 from repro.naming import object_guid
 from repro.sim import Counter, Distribution, Kernel, Network, TopologyParams
-from repro.util import GUID
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,667 @@
+"""Deterministic chaos scenarios: seeded fault storms with an oracle.
+
+Each scenario stands up a deployment, injects a specific class of
+adversity -- Byzantine replicas, churn plus partitions, lossy links,
+crashes during archival repair -- lets the simulation run, heals what
+the scenario promises to heal, and then hands the system to the
+invariant checker (:mod:`repro.chaos.invariants`).
+
+Everything a scenario does derives from the master seed through named
+:class:`~repro.util.rng.SeedSequence` streams, and the simulated clock
+is the only clock, so ``run_scenario(name, seed)`` is a pure function:
+the same seed reproduces the same event trace, the same fault pattern,
+and the same verdict.  The trace digest in the resulting
+:class:`ChaosReport` makes replay checkable bit-for-bit.
+
+A scenario *passes* when the observed invariant violations are exactly
+the ones it expects: usually none, but ``pbft-quorum-violation``
+deliberately under-provisions the ring and passes only when the checker
+catches it (the oracle is tested too).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+import networkx as nx
+
+from repro.chaos.invariants import (
+    InvariantChecker,
+    InvariantReport,
+    InvariantViolation,
+    check_ring_agreement,
+    check_ring_liveness,
+    check_ring_quorum,
+)
+from repro.consistency.pbft import FaultMode, InnerRing
+from repro.core.config import ChaosConfig, DeploymentConfig
+from repro.core.system import OceanStoreSystem
+from repro.crypto.keys import make_principal
+from repro.data import AppendBlock, TruePredicate, UpdateBranch, make_update
+from repro.data.update import Update
+from repro.naming import object_guid
+from repro.sim.failures import ChurnParams
+from repro.sim.faults import LinkFaultRule
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network, TopologyParams
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.util.ids import GUID
+from repro.util.rng import SeedSequence
+
+
+@dataclass
+class ChaosReport:
+    """Everything one scenario run produced, replayably."""
+
+    scenario: str
+    seed: int
+    passed: bool
+    invariants: InvariantReport
+    expect_violations: tuple[str, ...]
+    events: tuple[str, ...]
+    #: sha256 over the scenario identity, event trace, and invariant
+    #: outcome -- two runs match iff this matches
+    trace_digest: str
+    span_dump: str = ""
+    summary: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "passed": self.passed,
+            "summary": self.summary,
+            "trace_digest": self.trace_digest,
+            "expect_violations": list(self.expect_violations),
+            "invariants": {
+                "checked": list(self.invariants.checked),
+                "violations": [
+                    {"invariant": v.invariant, "detail": v.detail}
+                    for v in self.invariants.violations
+                ],
+            },
+            "events": list(self.events),
+        }
+
+    def render(self, include_trace: bool = False) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"{status}  {self.scenario}  seed={self.seed}  "
+            f"digest={self.trace_digest[:16]}"
+        ]
+        if self.summary:
+            lines.append(f"  {self.summary}")
+        if self.expect_violations:
+            lines.append(
+                "  expected violations: "
+                + ", ".join(sorted(self.expect_violations))
+            )
+        lines.append(self.invariants.render())
+        if include_trace or not self.passed:
+            lines.append("  trace:")
+            lines.extend(f"    {event}" for event in self.events)
+        if not self.passed and self.span_dump:
+            lines.append("  spans:")
+            lines.extend(f"    {line}" for line in self.span_dump.splitlines())
+        if not self.passed:
+            lines.append(
+                f"  replay: python -m repro chaos "
+                f"--scenario {self.scenario} --seed {self.seed}"
+            )
+        return "\n".join(lines)
+
+
+class ChaosContext:
+    """Per-run state shared between a scenario and the runner."""
+
+    def __init__(self, name: str, seed: int, chaos: ChaosConfig) -> None:
+        self.name = name
+        self.seed = seed
+        self.chaos = chaos
+        self.seeds = SeedSequence(seed)
+        self.rng = self.seeds.derive(f"chaos:{name}")
+        self.events: list[str] = []
+        self.system: OceanStoreSystem | None = None
+        self.ring: InnerRing | None = None
+        self.kernel: Kernel | None = None
+        self.telemetry = None
+        self.expected_update_ids: list[bytes] = []
+        self.expect_liveness = True
+        #: invariant names this scenario *wants* violated (the oracle test)
+        self.expect_violations: set[str] = set()
+        #: invariant names deliberately not applicable to this scenario
+        self.skip_invariants: set[str] = set()
+        #: scenario-level checks merged into the final report
+        self.extra_checked: list[str] = []
+        self.extra_violations: list[InvariantViolation] = []
+
+    # -- trace ----------------------------------------------------------
+
+    def event(self, text: str) -> None:
+        now = self.kernel.now if self.kernel is not None else 0.0
+        self.events.append(f"{now:>10.1f}ms  {text}")
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach_system(self, system: OceanStoreSystem) -> None:
+        self.system = system
+        self.ring = system.ring
+        self.kernel = system.kernel
+        self.telemetry = system.telemetry
+        system.injector.on_crash(lambda node: self.event(f"node {node} crashed"))
+        system.injector.on_revive(lambda node: self.event(f"node {node} revived"))
+
+    def attach_ring(self, kernel: Kernel, ring: InnerRing, telemetry) -> None:
+        self.ring = ring
+        self.kernel = kernel
+        self.telemetry = telemetry
+
+
+# -- scenario building blocks ------------------------------------------------
+
+
+def _standard_system(ctx: ChaosContext, **overrides) -> OceanStoreSystem:
+    """A small-but-complete deployment with chaos + telemetry enabled."""
+    params = dict(
+        seed=ctx.seed,
+        topology=TopologyParams(
+            transit_nodes=4, stubs_per_transit=2, nodes_per_stub=4
+        ),
+        secondaries_per_object=3,
+        archival_k=4,
+        archival_n=8,
+        telemetry=TelemetryConfig(enabled=True),
+        chaos=ctx.chaos,
+    )
+    params.update(overrides)
+    system = OceanStoreSystem(DeploymentConfig(**params))
+    ctx.attach_system(system)
+    ctx.event(
+        f"deployment up: {len(system.servers)} servers, "
+        f"ring {system.ring_nodes}"
+    )
+    return system
+
+
+def _make_author(ctx: ChaosContext):
+    return make_principal("chaos-author", ctx.seeds.derive("author"), bits=256)
+
+
+def _new_object(ctx: ChaosContext, author, name: str) -> GUID:
+    assert ctx.system is not None
+    guid = object_guid(author.public_key, name)
+    ctx.system.create_object(guid)
+    ctx.event(f"object {name} created as {guid}")
+    return guid
+
+
+def _build_update(author, guid: GUID, payload: bytes, ts: float) -> Update:
+    return make_update(
+        author, guid, [UpdateBranch(TruePredicate(), (AppendBlock(payload),))], ts
+    )
+
+
+def _client_node(ctx: ChaosContext) -> int:
+    """A deterministic stub node to submit from."""
+    assert ctx.system is not None
+    stubs = sorted(
+        n
+        for n, d in ctx.system.graph.nodes(data=True)
+        if d["kind"] == "stub"
+    )
+    return ctx.rng.choice(stubs)
+
+
+def _ring_executed(ring: InnerRing, update_id: bytes) -> bool:
+    return any(
+        update_id in r.executed_updates
+        for r in ring.replicas
+        if r.fault_mode is FaultMode.HONEST
+    )
+
+
+def _submit_until_executed(
+    ctx: ChaosContext,
+    client: int,
+    update: Update,
+    attempts: int = 5,
+    settle_ms: float = 20_000.0,
+) -> bool:
+    """Submit with client-side retry (the paper's clients retry through
+    faults; PBFT dedupes re-sent requests)."""
+    assert ctx.system is not None
+    short_id = update.update_id[:4].hex()
+    for attempt in range(attempts):
+        ctx.system.submit_update(client, update)
+        ctx.event(
+            f"update {short_id} submitted from node {client}"
+            + (f" (retry {attempt})" if attempt else "")
+        )
+        ctx.system.settle(settle_ms)
+        if _ring_executed(ctx.system.ring, update.update_id):
+            ctx.event(f"update {short_id} executed by the honest ring")
+            return True
+    ctx.event(f"update {short_id} NOT executed after {attempts} attempts")
+    return False
+
+
+# -- registry ----------------------------------------------------------------
+
+SCENARIOS: dict[str, Callable[[ChaosContext], None]] = {}
+
+
+def scenario(name: str):
+    def register(fn: Callable[[ChaosContext], None]):
+        SCENARIOS[name] = fn
+        return fn
+
+    return register
+
+
+def scenario_descriptions() -> dict[str, str]:
+    return {
+        name: (fn.__doc__ or "").strip().splitlines()[0]
+        for name, fn in sorted(SCENARIOS.items())
+    }
+
+
+# -- PBFT under Byzantine replicas -------------------------------------------
+
+
+def _pbft_byzantine(ctx: ChaosContext, mode: FaultMode) -> None:
+    system = _standard_system(ctx)
+    m = (
+        ctx.chaos.byzantine
+        if ctx.chaos.byzantine is not None
+        else system.config.byzantine_m
+    )
+    n = system.ring.n
+    for i in range(min(m, n)):
+        index = n - 1 - i  # highest indices: view-0 leader stays honest
+        system.ring.set_fault(index, mode)
+        ctx.event(f"ring replica {index} marked {mode.value}")
+    author = _make_author(ctx)
+    guid = _new_object(ctx, author, "pbft-object")
+    system.settle()
+    client = _client_node(ctx)
+    for i in range(3):
+        update = _build_update(
+            author, guid, f"payload-{i}".encode(), ts=float(i + 1)
+        )
+        ctx.expected_update_ids.append(update.update_id)
+        _submit_until_executed(ctx, client, update)
+    ctx.event(
+        f"ring committed order holds {len(system.ring.committed_order)} updates"
+    )
+
+
+@scenario("pbft-silent")
+def _pbft_silent(ctx: ChaosContext) -> None:
+    """m silent (crashed) replicas at n=3m+1: agreement must survive."""
+    _pbft_byzantine(ctx, FaultMode.SILENT)
+
+
+@scenario("pbft-equivocate")
+def _pbft_equivocate(ctx: ChaosContext) -> None:
+    """m equivocating replicas split their votes; quorums must not."""
+    _pbft_byzantine(ctx, FaultMode.EQUIVOCATE)
+
+
+@scenario("pbft-delay")
+def _pbft_delay(ctx: ChaosContext) -> None:
+    """m dawdling replicas send correct messages late."""
+    _pbft_byzantine(ctx, FaultMode.DELAY)
+
+
+@scenario("pbft-corrupt")
+def _pbft_corrupt(ctx: ChaosContext) -> None:
+    """m replicas garble every digest; honest verification rejects them."""
+    _pbft_byzantine(ctx, FaultMode.CORRUPT)
+
+
+@scenario("pbft-quorum-violation")
+def _pbft_quorum_violation(ctx: ChaosContext) -> None:
+    """An undersized ring (n=3m) with m silent replicas: the checker
+    must detect the violated fault budget and the resulting stall."""
+    m = ctx.chaos.byzantine if ctx.chaos.byzantine is not None else 1
+    n = 3 * m  # one replica short of the 3m+1 requirement
+    kernel = Kernel()
+    telemetry = Telemetry.from_config(
+        TelemetryConfig(enabled=True), clock=lambda: kernel.now
+    )
+    kernel.trace_wrapper = telemetry.wrap
+    graph = nx.complete_graph(n + 1)  # replicas plus one client node
+    nx.set_edge_attributes(graph, 50.0, "latency_ms")
+    network = Network(kernel, graph, telemetry=telemetry)
+    identity_rng = ctx.seeds.derive("ring-identities")
+    principals = [
+        make_principal(f"replica-{i}", identity_rng, bits=256) for i in range(n)
+    ]
+    ring = InnerRing(
+        kernel,
+        network,
+        list(range(n)),
+        principals,
+        m=m,
+        telemetry=telemetry,
+        allow_unsafe_size=True,
+    )
+    ctx.attach_ring(kernel, ring, telemetry)
+    ctx.event(f"undersized ring up: n={n} for m={m} (needs {3 * m + 1})")
+    for i in range(m):
+        ring.set_fault(n - 1 - i, FaultMode.SILENT)
+        ctx.event(f"ring replica {n - 1 - i} marked silent")
+    author = _make_author(ctx)
+    guid = object_guid(author.public_key, "starved-object")
+    update = _build_update(author, guid, b"doomed payload", ts=1.0)
+    ctx.expected_update_ids.append(update.update_id)
+    ring.submit(n, update)
+    ctx.event(f"update {update.update_id[:4].hex()} submitted from node {n}")
+    kernel.run(until=kernel.now + 30_000.0)
+    executed = sum(
+        1 for r in ring.replicas if update.update_id in r.executed_updates
+    )
+    ctx.event(f"executed on {executed} of {n} replicas")
+    ctx.expect_violations = {"quorum-feasibility", "liveness"}
+
+
+# -- location mesh under churn and partition ---------------------------------
+
+
+@scenario("routing-churn")
+def _routing_churn(ctx: ChaosContext) -> None:
+    """Churn plus an asymmetric partition; location must reconverge
+    once the storm passes (Section 4.3.3 soft-state repair)."""
+    system = _standard_system(ctx)
+    author = _make_author(ctx)
+    client = _client_node(ctx)
+    guids = []
+    for i in range(3):
+        guid = _new_object(ctx, author, f"churned-{i}")
+        guids.append(guid)
+        update = _build_update(author, guid, f"body-{i}".encode(), ts=1.0)
+        ctx.expected_update_ids.append(update.update_id)
+        _submit_until_executed(ctx, client, update)
+
+    stubs = sorted(
+        n for n in system.network.nodes() if n not in system.ring_nodes
+    )
+    duration = ctx.chaos.duration_ms
+    system.injector.start_churn(
+        stubs,
+        ChurnParams(
+            mean_uptime_ms=duration / 3.0, mean_downtime_ms=duration / 6.0
+        ),
+    )
+    ctx.event(f"churn started on {len(stubs)} non-ring nodes")
+    half = len(stubs) // 2
+    system.network.add_asymmetric_partition(set(stubs[:half]), set(stubs[half:]))
+    ctx.event(
+        f"asymmetric partition: {half} nodes cannot reach the other "
+        f"{len(stubs) - half}"
+    )
+    for _ in range(3):
+        system.settle(duration / 3.0)
+        start = ctx.rng.choice(
+            [n for n in stubs if not system.network.is_down(n)] or [client]
+        )
+        result = system.location.locate(start, ctx.rng.choice(guids))
+        ctx.event(
+            f"mid-storm lookup from node {start}: "
+            + (f"hit at node {result.replica_node}" if result.found else "miss")
+        )
+
+    system.injector.stop_churn()
+    system.network.heal_partitions()
+    for node in stubs:
+        system.injector.revive(node)
+    ctx.event("healed: churn stopped, partitions removed, nodes revived")
+    system.settle()
+    system.probabilistic.converge()
+    ctx.event("probabilistic tier reconverged")
+
+
+# -- dissemination under message loss ----------------------------------------
+
+
+@scenario("dissemination-loss")
+def _dissemination_loss(ctx: ChaosContext) -> None:
+    """Lossy links while updates commit and spread; the secondary tier
+    must still converge once losses stop."""
+    system = _standard_system(ctx)
+    assert system.net_faults is not None
+    author = _make_author(ctx)
+    guid = _new_object(ctx, author, "lossy-object")
+    system.settle()
+    client = _client_node(ctx)
+
+    window_end = system.kernel.now + ctx.chaos.duration_ms
+    drop = min(ctx.chaos.intensity, 0.5)
+    system.net_faults.add_rule(
+        LinkFaultRule(
+            start_ms=system.kernel.now,
+            end_ms=window_end,
+            drop=drop,
+            duplicate=0.1,
+            reorder=0.2,
+            corrupt=0.05,
+        )
+    )
+    ctx.event(
+        f"lossy window open: drop={drop:.2f}, dup=0.10, reorder=0.20, "
+        f"corrupt=0.05 until t={window_end:.0f}ms"
+    )
+    for i in range(3):
+        update = _build_update(
+            author, guid, f"lossy-{i}".encode(), ts=float(i + 1)
+        )
+        ctx.expected_update_ids.append(update.update_id)
+        _submit_until_executed(ctx, client, update, attempts=8)
+    injector = system.net_faults
+    ctx.event(
+        f"fault stats: dropped={injector.stats_dropped} "
+        f"duplicated={injector.stats_duplicated} "
+        f"reordered={injector.stats_reordered} "
+        f"corrupted={injector.stats_corrupted}"
+    )
+    if system.kernel.now < window_end:
+        system.settle(window_end - system.kernel.now)
+    ctx.event("lossy window closed")
+    # Anti-entropy pairs replicas at random, so the number of rounds a
+    # straggler needs is itself random; run until quiescent (bounded)
+    # rather than a fixed count -- the claim is eventual convergence.
+    rounds_used = 0
+    for rounds_used in range(1, 13):
+        system.run_epidemic_rounds(rounds=1)
+        if all(
+            tier.consistent_fraction() == 1.0
+            for tier in system.tiers.values()
+        ):
+            break
+    ctx.event(f"anti-entropy quiesced after {rounds_used} post-storm rounds")
+
+    ctx.extra_checked.append("dissemination-convergence")
+    for tier_guid in system.tiers:
+        tier = system.tiers[tier_guid]
+        fraction = tier.consistent_fraction()
+        ctx.event(
+            f"secondary tier for {tier_guid}: consistent fraction "
+            f"{fraction:.2f}"
+        )
+        if fraction < 1.0:
+            ctx.extra_violations.append(
+                InvariantViolation(
+                    "dissemination-convergence",
+                    f"tier for {tier_guid} stuck at {fraction:.2f} "
+                    "consistent after losses healed",
+                )
+            )
+
+
+# -- archival repair racing crashes ------------------------------------------
+
+
+@scenario("archival-crash-repair")
+def _archival_crash_repair(ctx: ChaosContext) -> None:
+    """Crash storms interleaved with repair sweeps; every archived
+    version must stay reconstructible from surviving fragments."""
+    system = _standard_system(ctx)
+    author = _make_author(ctx)
+    client = _client_node(ctx)
+    for i in range(2):
+        guid = _new_object(ctx, author, f"archived-{i}")
+        update = _build_update(author, guid, f"fragile-{i}".encode(), ts=1.0)
+        ctx.expected_update_ids.append(update.update_id)
+        _submit_until_executed(ctx, client, update)
+    non_ring = sorted(
+        n for n in system.network.nodes() if n not in system.ring_nodes
+    )
+    # Two half-strength storms with a repair sweep after each: the sweep
+    # re-encodes any object below the safety threshold back to full
+    # strength on surviving servers, so the second storm hits a repaired
+    # population -- the race the paper's "slow sweep" is meant to win.
+    last_reports = []
+    for round_no in (1, 2):
+        victims = system.injector.crash_fraction(
+            non_ring, ctx.chaos.intensity / 2
+        )
+        ctx.event(
+            f"crash storm {round_no}: {len(victims)} nodes down {victims}"
+        )
+        last_reports = system.sweeper.sweep()
+        repaired = [r for r in last_reports if r.repaired]
+        lost = [r for r in last_reports if r.lost]
+        ctx.event(
+            f"repair sweep {round_no}: {len(last_reports)} objects scanned, "
+            f"{len(repaired)} repaired, {len(lost)} lost"
+        )
+        system.settle(10_000.0)
+    # The sweeper's own verdict must match ground truth: an object it
+    # wrote off as lost really had fewer than k live fragments.
+    ctx.extra_checked.append("repair-accounting")
+    for report in last_reports:
+        archival, code = system.archive_index.objects[
+            report.archival_guid_bytes
+        ]
+        if report.lost and report.live_fragments >= code.k:
+            ctx.extra_violations.append(
+                InvariantViolation(
+                    "repair-accounting",
+                    f"sweeper wrote off {archival.archival_guid} with "
+                    f"{report.live_fragments} >= k={code.k} live fragments",
+                )
+            )
+    # Nodes stay down on purpose: reconstruction must work from the
+    # survivors alone.  Routing is exercised by routing-churn instead.
+    ctx.skip_invariants.add("routing-reconvergence")
+    ctx.event("leaving crashed nodes down for the survivor-only check")
+
+
+# -- the runner --------------------------------------------------------------
+
+
+def _trace_digest(
+    name: str, seed: int, events: list[str], report: InvariantReport
+) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(f"{name}:{seed}".encode())
+    for event in events:
+        hasher.update(event.encode())
+        hasher.update(b"\n")
+    for checked in report.checked:
+        hasher.update(checked.encode())
+    for violation in report.violations:
+        hasher.update(f"{violation.invariant}={violation.detail}".encode())
+    return hasher.hexdigest()
+
+
+def run_scenario(
+    name: str, seed: int = 0, chaos: ChaosConfig | None = None
+) -> ChaosReport:
+    """Run one scenario deterministically and judge it.
+
+    Returns a :class:`ChaosReport`; ``report.passed`` means observed
+    invariant violations matched the scenario's expectations exactly.
+    """
+    if name not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown chaos scenario {name!r} (known: {known})")
+    chaos = dataclasses.replace(chaos or ChaosConfig(), enabled=True)
+    ctx = ChaosContext(name, seed, chaos)
+    SCENARIOS[name](ctx)
+
+    if ctx.system is not None:
+        checker = InvariantChecker(ctx.system)
+        report = checker.check_all(
+            rng=ctx.seeds.derive("invariant-sample"),
+            expected_update_ids=tuple(ctx.expected_update_ids),
+            expect_liveness=ctx.expect_liveness,
+            skip=ctx.skip_invariants,
+        )
+    elif ctx.ring is not None:
+        violations = (
+            check_ring_agreement(ctx.ring)
+            + check_ring_quorum(ctx.ring)
+            + check_ring_liveness(ctx.ring, ctx.expected_update_ids)
+        )
+        report = InvariantReport(
+            checked=("agreement-safety", "quorum-feasibility", "liveness"),
+            violations=tuple(violations),
+        )
+    else:  # pragma: no cover - a scenario must attach something
+        raise RuntimeError(f"scenario {name} attached no system or ring")
+
+    if ctx.extra_checked or ctx.extra_violations:
+        report = InvariantReport(
+            checked=report.checked + tuple(ctx.extra_checked),
+            violations=report.violations + tuple(ctx.extra_violations),
+        )
+
+    observed = report.violated_names()
+    passed = observed == ctx.expect_violations
+    digest = _trace_digest(name, seed, ctx.events, report)
+    span_dump = ""
+    if not passed and ctx.telemetry is not None and ctx.telemetry.enabled:
+        span_dump = ctx.telemetry.render_spans(max_depth=6)
+    if passed and not ctx.expect_violations:
+        summary = "all invariants held"
+    elif passed:
+        summary = "expected violations detected: " + ", ".join(sorted(observed))
+    else:
+        missing = sorted(ctx.expect_violations - observed)
+        unexpected = sorted(observed - ctx.expect_violations)
+        parts = []
+        if unexpected:
+            parts.append("unexpected violations: " + ", ".join(unexpected))
+        if missing:
+            parts.append("expected but absent: " + ", ".join(missing))
+        summary = "; ".join(parts)
+    return ChaosReport(
+        scenario=name,
+        seed=seed,
+        passed=passed,
+        invariants=report,
+        expect_violations=tuple(sorted(ctx.expect_violations)),
+        events=tuple(ctx.events),
+        trace_digest=digest,
+        span_dump=span_dump,
+        summary=summary,
+    )
+
+
+def run_all(seed: int = 0, chaos: ChaosConfig | None = None) -> list[ChaosReport]:
+    """Every registered scenario under one master seed."""
+    return [run_scenario(name, seed, chaos) for name in sorted(SCENARIOS)]
+
+
+__all__ = [
+    "ChaosContext",
+    "ChaosReport",
+    "SCENARIOS",
+    "run_all",
+    "run_scenario",
+    "scenario_descriptions",
+]

@@ -9,7 +9,9 @@ Commands:
                    parameters;
 * ``costmodel`` -- print the Figure 6 normalized-cost series;
 * ``telemetry`` -- run an instrumented scenario and print the causal
-                   span tree plus the metrics table.
+                   span tree plus the metrics table;
+* ``chaos``     -- run seeded fault-injection scenarios with invariant
+                   checking; the same seed replays bit-identically.
 """
 
 from __future__ import annotations
@@ -19,8 +21,9 @@ import json
 import sys
 
 from repro.archival import erasure_availability, nines, replication_availability
+from repro.chaos import SCENARIOS, run_scenario, scenario_descriptions
 from repro.consistency import normalized_cost, replicas_for_faults
-from repro.core import DeploymentConfig, OceanStoreSystem, make_client
+from repro.core import ChaosConfig, DeploymentConfig, OceanStoreSystem, make_client
 from repro.sim import TopologyParams
 from repro.telemetry import TelemetryConfig
 
@@ -67,6 +70,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the full metrics+spans export as JSON instead of tables",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection scenarios with invariant checking",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, help="master seed; replays bit-identically"
+    )
+    chaos.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS) + ["all"],
+        default="all",
+        help="which scenario to run (default: all)",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    chaos.add_argument(
+        "--intensity",
+        type=float,
+        default=0.3,
+        help="fault severity dial in [0,1]: drop rates, crash fractions",
+    )
+    chaos.add_argument(
+        "--duration",
+        type=float,
+        default=60_000.0,
+        help="fault window length in virtual ms",
+    )
+    chaos.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the event trace even for passing scenarios",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit reports as JSON"
     )
 
     return parser
@@ -219,12 +259,39 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.list:
+        descriptions = scenario_descriptions()
+        width = max(len(name) for name in descriptions)
+        for name, description in descriptions.items():
+            print(f"  {name:<{width}}  {description}")
+        return 0
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    chaos_config = ChaosConfig(
+        enabled=True, intensity=args.intensity, duration_ms=args.duration
+    )
+    reports = [
+        run_scenario(name, seed=args.seed, chaos=chaos_config)
+        for name in names
+    ]
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render(include_trace=args.trace))
+            print()
+        passed = sum(1 for r in reports if r.passed)
+        print(f"{passed}/{len(reports)} scenarios passed (seed {args.seed})")
+    return 0 if all(r.passed for r in reports) else 1
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "topology": cmd_topology,
     "reliability": cmd_reliability,
     "costmodel": cmd_costmodel,
     "telemetry": cmd_telemetry,
+    "chaos": cmd_chaos,
 }
 
 

@@ -20,6 +20,13 @@ from repro.consistency.costmodel import (
     replicas_for_faults,
     update_cost_bytes,
 )
+from repro.consistency.byzantine import (
+    ByzantineStrategy,
+    CorruptDigestStrategy,
+    DelayedStrategy,
+    EquivocatingStrategy,
+    SilentStrategy,
+)
 from repro.consistency.dissemination import DisseminationTree, TreeError
 from repro.consistency.pbft import (
     SMALL_MESSAGE_BYTES,
@@ -28,6 +35,7 @@ from repro.consistency.pbft import (
     FaultMode,
     InnerRing,
     PBFTReplica,
+    strategy_for,
     update_digest,
 )
 from repro.consistency.secondary import (
@@ -46,11 +54,15 @@ from repro.consistency.timestamps import (
 
 __all__ = [
     "AntiEntropyRequest",
+    "ByzantineStrategy",
     "ClientRequest",
     "CommitCertificate",
     "CommittedPush",
+    "CorruptDigestStrategy",
     "CostConstants",
+    "DelayedStrategy",
     "DisseminationTree",
+    "EquivocatingStrategy",
     "FaultMode",
     "InnerRing",
     "Invalidation",
@@ -60,9 +72,11 @@ __all__ = [
     "SMALL_MESSAGE_BYTES",
     "SecondaryReplica",
     "SecondaryTier",
+    "SilentStrategy",
     "TentativeGossip",
     "TreeError",
     "crossover_update_size",
+    "strategy_for",
     "latency_estimate_ms",
     "minimum_cost_bytes",
     "normalized_cost",

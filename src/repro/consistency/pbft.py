@@ -25,6 +25,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
+from repro.consistency.byzantine import (
+    ByzantineStrategy,
+    CorruptDigestStrategy,
+    DelayedStrategy,
+    EquivocatingStrategy,
+    SilentStrategy,
+)
 from repro.crypto.hashes import sha256
 from repro.crypto.keys import Principal
 from repro.data.update import Update
@@ -41,6 +48,21 @@ class FaultMode(Enum):
     HONEST = "honest"
     SILENT = "silent"
     EQUIVOCATE = "equivocate"
+    DELAY = "delay"
+    CORRUPT = "corrupt"
+
+
+def strategy_for(mode: FaultMode) -> ByzantineStrategy | None:
+    """The adversarial behaviour a marked replica actually executes."""
+    if mode is FaultMode.HONEST:
+        return None
+    if mode is FaultMode.SILENT:
+        return SilentStrategy()
+    if mode is FaultMode.EQUIVOCATE:
+        return EquivocatingStrategy()
+    if mode is FaultMode.DELAY:
+        return DelayedStrategy()
+    return CorruptDigestStrategy()
 
 
 # -- wire messages -----------------------------------------------------------
@@ -118,6 +140,25 @@ class NewViewMsg:
 
 
 @dataclass(frozen=True, slots=True)
+class BodyFetchRequest:
+    """New leader asking peers for an update body it never received.
+
+    A preserved slot's digest can be known (from prepared reports) while
+    the request body is not -- the client's copy to this replica may
+    have been lost.  The slot must keep its digest, so the leader
+    fetches the body rather than repurposing the sequence number.
+    """
+
+    digest: bytes
+    sender: int
+
+
+@dataclass(frozen=True, slots=True)
+class BodyFetchResponse:
+    update: Update
+
+
+@dataclass(frozen=True, slots=True)
 class CommitCertificate:
     """Proof that the primary tier serialized ``update`` at slot ``seq``.
 
@@ -146,6 +187,59 @@ class CommitCertificate:
         return True
 
 
+@dataclass(frozen=True, slots=True)
+class CatchUpRequest:
+    """A lagging replica asking peers for committed state it missed.
+
+    A single laggard cannot force a view change (the other replicas are
+    satisfied and will not vote), so after a timeout it asks for state
+    transfer instead -- the role PBFT's checkpoint protocol plays.
+    """
+
+    sender: int
+    last_executed_seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutedClaim:
+    """An executed slot whose certificate never finished assembling.
+
+    Carries whatever sign shares the responder holds -- possibly fewer
+    than the 2m+1 a :class:`CommitCertificate` needs, because under
+    message loss the laggards themselves may be among the missing
+    signers (a laggard cannot sign until it executes, and cannot catch
+    up on certificates until enough replicas sign: a deadlock).  The
+    requester verifies each share individually and adopts the slot once
+    m+1 *distinct* replicas have validly signed (seq, digest): at least
+    one signer is honest, and honest replicas sign only after a commit
+    quorum, so no conflicting digest can gather m+1 honest-backed
+    signatures at the same slot.
+    """
+
+    seq: int
+    digest: bytes
+    update: Update
+    signatures: tuple[tuple[int, bytes], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class CatchUpResponse:
+    """Committed slots above the requester's execution horizon.
+
+    Updates travel as :class:`CommitCertificate` (threshold-signed, so
+    a Byzantine helper cannot forge them) when one exists, or as an
+    :class:`ExecutedClaim` adopted at m+1 verified signers otherwise;
+    no-op gap fillers carry no signatures at all, so the requester only
+    trusts a no-op claim confirmed by m+1 distinct helpers (at least
+    one honest).
+    """
+
+    certificates: tuple[CommitCertificate, ...]
+    noop_seqs: tuple[int, ...]
+    sender: int
+    claims: tuple[ExecutedClaim, ...] = ()
+
+
 def update_digest(update: Update) -> bytes:
     return sha256(update.signed_bytes())
 
@@ -165,6 +259,10 @@ _PHASE_BY_TYPE: dict[type, str] = {
     SignShare: "sign_share",
     ViewChangeMsg: "view_change",
     NewViewMsg: "new_view",
+    BodyFetchRequest: "body_fetch",
+    BodyFetchResponse: "body_fetch",
+    CatchUpRequest: "catch_up",
+    CatchUpResponse: "catch_up",
 }
 
 
@@ -206,10 +304,14 @@ class PBFTReplica:
         self.principal = principal
         self.ring = ring
         self.fault_mode = FaultMode.HONEST
+        #: adversarial behaviour executed when non-honest (None = honest)
+        self.strategy: ByzantineStrategy | None = None
         self.view = 0
         self.next_seq = 0
         self.instances: dict[tuple[int, int], _Instance] = {}
         self.executed_updates: set[bytes] = set()
+        #: seq -> digest actually executed there (agreement-safety audit)
+        self.executed_by_seq: dict[int, bytes] = {}
         self.last_executed_seq = -1
         self.execution_queue: dict[int, tuple[bytes, Update]] = {}
         self.known_requests: dict[bytes, Update] = {}
@@ -218,9 +320,17 @@ class PBFTReplica:
         self._deferred_pre_prepares: dict[bytes, PrePrepare] = {}
         self.sign_shares: dict[int, dict[int, bytes]] = {}
         self.certified_seqs: set[int] = set()
+        #: seq -> assembled certificate, served to lagging peers
+        self.certificates: dict[int, CommitCertificate] = {}
+        #: seq -> helpers claiming the slot executed as a no-op
+        self._noop_claims: dict[int, set[int]] = {}
+        self._claim_signers: dict[tuple[int, bytes], set[int]] = {}
         #: view -> {sender -> that sender's prepared-slot reports}
         self.view_change_votes: dict[int, dict[int, tuple[PreparedReport, ...]]] = {}
         self._pending_timeouts: dict[bytes, object] = {}
+        #: digest -> sequence slot reserved for it while the body is
+        #: fetched from peers (view-change recovery of a lost request)
+        self._awaiting_body: dict[bytes, int] = {}
 
     # -- helpers ---------------------------------------------------------------
 
@@ -234,17 +344,41 @@ class PBFTReplica:
     def _broadcast(self, payload: object, size: int) -> None:
         if self.fault_mode is FaultMode.SILENT:
             return
+        strategy = self.strategy
         sent = 0
         for other in self.ring.replicas:
             if other.index == self.index:
                 continue
-            self.ring.network.send(self.network_id, other.network_id, payload, size)
-            sent += 1
+            if strategy is None:
+                self.ring.network.send(
+                    self.network_id, other.network_id, payload, size
+                )
+                sent += 1
+                continue
+            for wire_payload, delay_ms in strategy.outgoing(
+                self, other.index, payload
+            ):
+                self._send_adversarial(
+                    other.network_id, wire_payload, size, delay_ms
+                )
+                sent += 1
         tel = self.ring.telemetry
         if tel.enabled and sent:
             tel.count(
                 "pbft_messages_total", sent, phase=_PHASE_BY_TYPE[type(payload)]
             )
+
+    def _send_adversarial(
+        self, dst: NodeId, payload: object, size: int, delay_ms: float
+    ) -> None:
+        if delay_ms <= 0:
+            self.ring.network.send(self.network_id, dst, payload, size)
+            return
+        self.ring.kernel.call_after(
+            delay_ms,
+            lambda: self.ring.network.send(self.network_id, dst, payload, size),
+            label=f"pbft.delayed_send[{self.index}]",
+        )
 
     # -- message handling ---------------------------------------------------------
 
@@ -266,6 +400,14 @@ class PBFTReplica:
             self._on_view_change(payload)
         elif isinstance(payload, NewViewMsg):
             self._on_new_view(payload)
+        elif isinstance(payload, BodyFetchRequest):
+            self._on_body_fetch(payload)
+        elif isinstance(payload, BodyFetchResponse):
+            self._on_request(payload.update)
+        elif isinstance(payload, CatchUpRequest):
+            self._on_catch_up_request(payload)
+        elif isinstance(payload, CatchUpResponse):
+            self._on_catch_up_response(payload)
 
     # -- normal case ----------------------------------------------------------------
 
@@ -280,11 +422,21 @@ class PBFTReplica:
         digest = update_digest(update)
         self.known_by_digest[digest] = update
         deferred = self._deferred_pre_prepares.pop(digest, None)
+        reserved = self._awaiting_body.pop(digest, None)
+        # Every replica times the request -- including one that believes
+        # it is the leader.  A view-desynced replica whose stale view
+        # maps the leader role onto itself would otherwise propose into
+        # the void and never fire the catch-up/view-change machinery
+        # that is its only way back to the ring.
+        self._arm_view_change_timer(update)
         if self.is_leader:
-            if not self._already_in_flight(digest):
+            if reserved is not None:
+                # A view change reserved this slot for the digest; now
+                # that the body is here, fill it at its original number.
+                self._propose_at(reserved, update)
+            elif not self._already_in_flight(digest):
                 self._propose(update)
         else:
-            self._arm_view_change_timer(update)
             if deferred is not None:
                 self._on_pre_prepare(deferred)
 
@@ -344,15 +496,22 @@ class PBFTReplica:
             return  # conflicting pre-prepare for the slot
         instance.digest = msg.digest
         instance.update = update
+        if (
+            update is not None
+            and update.update_id not in self.executed_updates
+            and update.update_id not in self._pending_timeouts
+        ):
+            # The client's own broadcast may never arrive (lossy links),
+            # making this pre-prepare the replica's only sight of the
+            # request -- it must still drive catch-up / view change if
+            # the slot stalls, so the progress timer arms here too.
+            self._arm_view_change_timer(update)
         instance.prepares.add(self.ring.leader_index(msg.view))
         instance.prepares.add(self.index)
         instance.prepares |= instance.early_prepares.pop(msg.digest, set())
         instance.commits |= instance.early_commits.pop(msg.digest, set())
-        digest = msg.digest
-        if self.fault_mode is FaultMode.EQUIVOCATE:
-            digest = sha256(b"equivocation" + msg.digest)
         self._broadcast(
-            PrepareMsg(msg.view, msg.seq, digest, self.index),
+            PrepareMsg(msg.view, msg.seq, msg.digest, self.index),
             size=SMALL_MESSAGE_BYTES,
         )
         self._maybe_prepared(msg.view, msg.seq)
@@ -377,11 +536,9 @@ class PBFTReplica:
             return
         if len(instance.prepares) >= self.ring.quorum and self.index not in instance.commits:
             instance.commits.add(self.index)
-            digest = instance.digest
-            if self.fault_mode is FaultMode.EQUIVOCATE:
-                digest = sha256(b"equivocation" + digest)
             self._broadcast(
-                CommitMsg(view, seq, digest, self.index), size=SMALL_MESSAGE_BYTES
+                CommitMsg(view, seq, instance.digest, self.index),
+                size=SMALL_MESSAGE_BYTES,
             )
             self._maybe_committed(view, seq)
 
@@ -416,6 +573,7 @@ class PBFTReplica:
             seq = self.last_executed_seq + 1
             digest, update = self.execution_queue.pop(seq)
             self.last_executed_seq = seq
+            self.executed_by_seq[seq] = digest
             if update is None:
                 continue  # no-op gap filler from a view change
             if update.update_id in self.executed_updates:
@@ -469,6 +627,7 @@ class PBFTReplica:
                 update=update,
                 signatures=tuple(sorted(shares.items())),
             )
+            self.certificates[seq] = certificate
             tel = self.ring.telemetry
             if tel.enabled:
                 tel.count("pbft_certificates_total")
@@ -484,8 +643,36 @@ class PBFTReplica:
             self._pending_timeouts.pop(update_id, None)
             if update_id in self.executed_updates:
                 return
-            self._send_view_change(self.view + 1)
+            # A lone laggard cannot force a view change (the others are
+            # satisfied and will not vote), so first ask peers for
+            # committed state this replica may simply have missed --
+            # the role PBFT's checkpoint/state-transfer protocol plays.
+            self._broadcast(
+                CatchUpRequest(self.index, self.last_executed_seq),
+                size=SMALL_MESSAGE_BYTES,
+            )
+            # Escalate past any view we already voted for: if an earlier
+            # vote assembled a view whose NEW-VIEW announcement was lost
+            # in transit, re-voting for that same view would be a no-op
+            # and the replica would stall in its old view forever.
+            voted = [
+                view
+                for view, votes in self.view_change_votes.items()
+                if self.index in votes
+            ]
+            self._send_view_change(max([self.view, *voted]) + 1)
+            if update_id in self.executed_updates:
+                return
+            # Re-arm: under message loss both the catch-up and the view
+            # change can vanish in transit, and this timer is the only
+            # local driver left once the client has its quorum ack.
+            self._pending_timeouts[update_id] = self.ring.kernel.call_after(
+                self.VIEW_TIMEOUT_MS, check
+            )
 
+        old = self._pending_timeouts.pop(update_id, None)
+        if old is not None:
+            old.cancel()
         handle = self.ring.kernel.call_after(self.VIEW_TIMEOUT_MS, check)
         self._pending_timeouts[update_id] = handle
 
@@ -495,17 +682,25 @@ class PBFTReplica:
             handle.cancel()
 
     def _prepared_reports(self) -> tuple[PreparedReport, ...]:
-        """Slots this replica has prepared but not yet executed.
+        """Every slot this replica has prepared, *including executed ones*.
 
-        Any slot that could have *executed* anywhere was committed at a
+        Any slot that could have executed anywhere was committed at a
         quorum, hence prepared at a quorum, hence appears in at least one
         honest replica's report within any view-change quorum -- so the
         new leader preserving all reported slots preserves every
         possibly-executed slot (PBFT's cross-view safety argument).
+
+        Locally-executed slots must stay in the report: the executors in
+        the view-change quorum may be the *only* members that prepared a
+        committed slot, and omitting it would let the new leader reuse
+        its sequence number for a different update (divergent execution).
+        Real PBFT trims reports at the stable checkpoint, which requires
+        2m+1 checkpoint proofs; this implementation has no checkpointing,
+        so reports cover the full history.
         """
         reports = {}
         for (view, seq), instance in self.instances.items():
-            if seq <= self.last_executed_seq or instance.digest is None:
+            if instance.digest is None:
                 continue
             if len(instance.prepares) >= self.ring.quorum:
                 existing = reports.get(seq)
@@ -521,6 +716,13 @@ class PBFTReplica:
             return
         votes = self.view_change_votes.setdefault(new_view, {})
         if self.index in votes:
+            # Already voted: retransmit (the first broadcast may have
+            # been lost on a faulty link); receivers dedupe by sender.
+            self._broadcast(
+                ViewChangeMsg(new_view, self.index, votes[self.index]),
+                size=SMALL_MESSAGE_BYTES + 40 * len(votes[self.index]),
+            )
+            self._maybe_enter_view(new_view)
             return
         reports = self._prepared_reports()
         votes[self.index] = reports
@@ -556,11 +758,13 @@ class PBFTReplica:
         self._broadcast(NewViewMsg(new_view), size=SMALL_MESSAGE_BYTES)
 
         # 1. Preserve every prepared slot reported by the quorum, at its
-        #    original sequence number.
-        preserved: dict[int, bytes] = {}
+        #    original sequence number.  Slots this leader already
+        #    executed keep the digest it executed (committed at a quorum,
+        #    so authoritative over any conflicting prepared report).
+        preserved: dict[int, bytes] = dict(self.executed_by_seq)
         for reports in votes.values():
             for report in reports:
-                if report.seq <= self.last_executed_seq:
+                if report.seq in self.executed_by_seq:
                     continue
                 # Prefer a digest whose update body we actually hold.
                 if (
@@ -570,10 +774,26 @@ class PBFTReplica:
                     preserved[report.seq] = report.digest
         proposed_digests: set[bytes] = set()
         used_seqs: set[int] = set()
+        self._awaiting_body.clear()
         for seq in sorted(preserved):
+            if preserved[seq] == NOOP_DIGEST:
+                self._propose_noop_at(seq)
+                used_seqs.add(seq)
+                continue
             update = self.known_by_digest.get(preserved[seq])
             if update is None:
-                continue  # body unknown; the owning client will retry
+                # The digest is committed to this slot but the body was
+                # lost en route here.  Reserve the number (padding must
+                # NOT reuse it -- that re-executes the slot divergently)
+                # and fetch the body from peers; the client's retry also
+                # satisfies the reservation.
+                self._awaiting_body[preserved[seq]] = seq
+                used_seqs.add(seq)
+                self._broadcast(
+                    BodyFetchRequest(preserved[seq], self.index),
+                    size=SMALL_MESSAGE_BYTES,
+                )
+                continue
             self._propose_at(seq, update)
             proposed_digests.add(preserved[seq])
             used_seqs.add(seq)
@@ -610,6 +830,142 @@ class PBFTReplica:
         if msg.new_view > self.view:
             self.view = msg.new_view
 
+    def _on_body_fetch(self, msg: BodyFetchRequest) -> None:
+        update = self.known_by_digest.get(msg.digest)
+        if update is None or not 0 <= msg.sender < self.ring.n:
+            return
+        self.ring.network.send(
+            self.network_id,
+            self.ring.replicas[msg.sender].network_id,
+            BodyFetchResponse(update),
+            size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+        )
+
+    # -- state transfer (laggard catch-up) ---------------------------------------------
+
+    def _on_catch_up_request(self, msg: CatchUpRequest) -> None:
+        if not 0 <= msg.sender < self.ring.n or msg.sender == self.index:
+            return
+        certificates = tuple(
+            cert
+            for seq, cert in sorted(self.certificates.items())
+            if seq > msg.last_executed_seq
+        )
+        noop_seqs = tuple(
+            seq
+            for seq, digest in sorted(self.executed_by_seq.items())
+            if seq > msg.last_executed_seq and digest == NOOP_DIGEST
+        )
+        # Slots this replica executed but never certified mean the
+        # post-execution sign shares were lost in transit (shares are
+        # fire-and-forget, and the laggards themselves may be missing
+        # signers).  Two remedies: re-broadcast our own share so every
+        # committed replica can finish assembling a certificate, and
+        # attach the shares we *do* hold as an ExecutedClaim the
+        # requester can adopt at m+1 verified signers.
+        claims = []
+        for seq, digest in sorted(self.executed_by_seq.items()):
+            if seq <= msg.last_executed_seq or seq in self.certificates:
+                continue
+            if digest == NOOP_DIGEST:
+                continue
+            signature = self.sign_shares.get(seq, {}).get(self.index)
+            if signature is None:
+                continue
+            self._broadcast(
+                SignShare(
+                    seq=seq,
+                    digest=digest,
+                    sender=self.index,
+                    signature=signature,
+                ),
+                size=SMALL_MESSAGE_BYTES,
+            )
+            update = self.known_by_digest.get(digest)
+            if update is not None:
+                claims.append(
+                    ExecutedClaim(
+                        seq=seq,
+                        digest=digest,
+                        update=update,
+                        signatures=tuple(
+                            sorted(self.sign_shares.get(seq, {}).items())
+                        ),
+                    )
+                )
+        if not certificates and not noop_seqs and not claims:
+            return
+        size = SMALL_MESSAGE_BYTES + sum(
+            cert.update.size_bytes() + SMALL_MESSAGE_BYTES for cert in certificates
+        ) + sum(
+            claim.update.size_bytes() + SMALL_MESSAGE_BYTES for claim in claims
+        )
+        self.ring.network.send(
+            self.network_id,
+            self.ring.replicas[msg.sender].network_id,
+            CatchUpResponse(certificates, noop_seqs, self.index, tuple(claims)),
+            size_bytes=size,
+        )
+
+    def _on_catch_up_response(self, msg: CatchUpResponse) -> None:
+        progressed = False
+        for cert in msg.certificates:
+            if cert.seq <= self.last_executed_seq:
+                continue
+            if cert.digest == NOOP_DIGEST:
+                continue  # no-ops never certify; reject the forgery
+            if update_digest(cert.update) != cert.digest:
+                continue  # valid certificate paired with the wrong body
+            if not cert.verify(self.ring):
+                continue
+            self.known_requests[cert.update.update_id] = cert.update
+            self.known_by_digest[cert.digest] = cert.update
+            self.certificates.setdefault(cert.seq, cert)
+            self.sign_shares.setdefault(cert.seq, {}).update(dict(cert.signatures))
+            self.execution_queue[cert.seq] = (cert.digest, cert.update)
+            progressed = True
+        for claim in msg.claims:
+            if claim.seq <= self.last_executed_seq:
+                continue
+            if claim.seq in self.execution_queue:
+                continue
+            if claim.digest == NOOP_DIGEST:
+                continue
+            if update_digest(claim.update) != claim.digest:
+                continue  # claimed body does not match the signed digest
+            payload = CommitCertificate.signed_payload(claim.seq, claim.digest)
+            signers = self._claim_signers.setdefault(
+                (claim.seq, claim.digest), set()
+            )
+            for idx, sig in claim.signatures:
+                if not 0 <= idx < self.ring.n or idx in signers:
+                    continue
+                if self.ring.replicas[idx].principal.public_key.verify(
+                    payload, sig
+                ):
+                    signers.add(idx)
+                    self.sign_shares.setdefault(claim.seq, {})[idx] = sig
+            # m+1 distinct verified signers guarantee an honest executor,
+            # and honest replicas sign only post-commit-quorum, so no
+            # rival digest can ever reach the same bar at this slot.
+            if len(signers) > self.ring.m:
+                self.known_requests[claim.update.update_id] = claim.update
+                self.known_by_digest[claim.digest] = claim.update
+                self.execution_queue[claim.seq] = (claim.digest, claim.update)
+                progressed = True
+        for seq in msg.noop_seqs:
+            if seq <= self.last_executed_seq or seq in self.execution_queue:
+                continue
+            claims = self._noop_claims.setdefault(seq, set())
+            claims.add(msg.sender)
+            # m+1 distinct claimants guarantee at least one honest
+            # witness; fewer could be a coordinated Byzantine lie.
+            if len(claims) > self.ring.m:
+                self.execution_queue[seq] = (NOOP_DIGEST, None)
+                progressed = True
+        if progressed:
+            self._execute_ready()
+
 
 # -- the ring ------------------------------------------------------------------
 
@@ -629,11 +985,17 @@ class InnerRing:
         principals: list[Principal],
         m: int,
         telemetry=None,
+        allow_unsafe_size: bool = False,
     ) -> None:
-        if len(replica_nodes) != 3 * m + 1:
+        if len(replica_nodes) != 3 * m + 1 and not allow_unsafe_size:
             raise ValueError(
                 f"PBFT needs n = 3m+1 replicas: m={m} needs {3 * m + 1}, "
                 f"got {len(replica_nodes)}"
+            )
+        if allow_unsafe_size and len(replica_nodes) < 2 * m + 1:
+            raise ValueError(
+                f"even an unsafe ring needs a quorum's worth of replicas: "
+                f"m={m} needs >= {2 * m + 1}, got {len(replica_nodes)}"
             )
         if len(principals) != len(replica_nodes):
             raise ValueError("one principal per replica required")
@@ -663,6 +1025,16 @@ class InnerRing:
     def quorum(self) -> int:
         """2m + 1: intersection quorum for n = 3m + 1."""
         return 2 * self.m + 1
+
+    @property
+    def max_tolerable_faults(self) -> int:
+        """How many Byzantine replicas this ring size can actually absorb.
+
+        (n-1)//3 -- equals ``m`` only when n = 3m+1.  An undersized ring
+        (built with ``allow_unsafe_size``) reports fewer, which is how
+        the chaos invariant checker detects a violated quorum condition.
+        """
+        return (self.n - 1) // 3
 
     def leader_index(self, view: int) -> int:
         return view % self.n
@@ -712,8 +1084,17 @@ class InnerRing:
 
     # -- fault injection ------------------------------------------------------------
 
-    def set_fault(self, replica_index: int, mode: FaultMode) -> None:
-        self.replicas[replica_index].fault_mode = mode
+    def set_fault(
+        self,
+        replica_index: int,
+        mode: FaultMode,
+        strategy: ByzantineStrategy | None = None,
+    ) -> None:
+        """Make a replica misbehave: ``mode`` picks a stock strategy from
+        :mod:`repro.consistency.byzantine`, or pass a custom one."""
+        replica = self.replicas[replica_index]
+        replica.fault_mode = mode
+        replica.strategy = strategy if strategy is not None else strategy_for(mode)
 
     def faulty_count(self) -> int:
         return sum(1 for r in self.replicas if r.fault_mode is not FaultMode.HONEST)

@@ -48,6 +48,7 @@ class TentativeGossip:
 class AntiEntropyRequest:
     """Pull side of anti-entropy: what the requester already knows."""
 
+    object_guid: GUID
     known_tentative: tuple[bytes, ...]
     committed_through: int
     sender: NodeId
@@ -72,6 +73,7 @@ class Invalidation:
 
 @dataclass(frozen=True, slots=True)
 class PullRequest:
+    object_guid: GUID
     seq: int
     sender: NodeId
 
@@ -154,21 +156,38 @@ class SecondaryReplica:
     # -- message handling ------------------------------------------------------------
 
     def handle(self, message: Message) -> None:
+        """Dispatch one tier message.
+
+        A node can host secondary replicas of *several* objects, all
+        subscribed to the same mailbox, so every branch first checks the
+        payload names this tier's object -- without that, one object's
+        committed pushes would silently apply to another object's
+        replica on a shared node.
+        """
         payload = message.payload
+        guid = self.tier.object_guid
         if isinstance(payload, TentativeGossip):
             for update in payload.updates:
-                self.add_tentative(update)
+                if update.object_guid == guid:
+                    self.add_tentative(update)
         elif isinstance(payload, AntiEntropyRequest):
-            self._serve_anti_entropy(payload)
+            if payload.object_guid == guid:
+                self._serve_anti_entropy(payload)
         elif isinstance(payload, CommittedPush):
+            if payload.update.object_guid != guid:
+                return
             self.apply_committed(payload.seq, payload.update)
             self.tier._forward_down_tree(self.network_id, payload)
         elif isinstance(payload, Invalidation):
+            if payload.object_guid != guid:
+                return
             if payload.seq > self.committed_through:
                 self.invalidated[payload.seq] = payload
                 self._invalidate_cache()
             self.tier._forward_down_tree(self.network_id, payload)
         elif isinstance(payload, PullRequest):
+            if payload.object_guid != guid:
+                return
             update = self.committed_updates.get(payload.seq)
             if update is not None:
                 self.tier.network.send(
@@ -178,7 +197,8 @@ class SecondaryReplica:
                     size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
                 )
         elif isinstance(payload, PullResponse):
-            self.apply_committed(payload.seq, payload.update)
+            if payload.update.object_guid == guid:
+                self.apply_committed(payload.seq, payload.update)
 
     def _serve_anti_entropy(self, request: AntiEntropyRequest) -> None:
         known = set(request.known_tentative)
@@ -209,6 +229,7 @@ class SecondaryReplica:
         """Push-pull with a partner: advertise what we know, push our
         tentative set."""
         request = AntiEntropyRequest(
+            object_guid=self.tier.object_guid,
             known_tentative=tuple(sorted(self.tentative)),
             committed_through=self.committed_through,
             sender=self.network_id,
@@ -245,7 +266,11 @@ class SecondaryReplica:
             self.tier.network.send(
                 self.network_id,
                 parent,
-                PullRequest(seq=seq, sender=self.network_id),
+                PullRequest(
+                    object_guid=self.tier.object_guid,
+                    seq=seq,
+                    sender=self.network_id,
+                ),
                 size_bytes=SMALL_MESSAGE_BYTES,
             )
 

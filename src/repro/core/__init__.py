@@ -15,7 +15,7 @@ from repro.core.accounting import (
     UtilityLedger,
 )
 from repro.core.client import make_client
-from repro.core.config import DeploymentConfig
+from repro.core.config import ChaosConfig, DeploymentConfig
 from repro.core.server import OceanStoreServer
 from repro.core.system import OceanStoreSystem, deserialize_state, serialize_state
 from repro.core.workloads import (
@@ -28,6 +28,7 @@ from repro.core.workloads import (
 )
 
 __all__ = [
+    "ChaosConfig",
     "ConsumerStatement",
     "DeploymentConfig",
     "ProviderStatement",

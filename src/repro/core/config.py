@@ -9,6 +9,33 @@ from repro.telemetry import TelemetryConfig
 
 
 @dataclass
+class ChaosConfig:
+    """Fault-injection knobs for chaos scenarios (default: off).
+
+    When ``enabled``, the deployment carries a seeded
+    :class:`~repro.sim.faults.NetworkFaultInjector` on its network so
+    scenarios (and users) can install per-link fault schedules; the
+    ``repro chaos`` CLI and :mod:`repro.chaos` runner read the rest.
+    """
+
+    enabled: bool = False
+    #: how long scenario fault windows stay open (virtual ms)
+    duration_ms: float = 60_000.0
+    #: generic severity dial: message drop rates, crash fractions, ...
+    intensity: float = 0.3
+    #: Byzantine replicas to mark in PBFT scenarios (None = the ring's m)
+    byzantine: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError("intensity must be in [0, 1]")
+        if self.byzantine is not None and self.byzantine < 0:
+            raise ValueError("byzantine must be >= 0")
+
+
+@dataclass
 class DeploymentConfig:
     """Everything needed to stand up a reproducible deployment.
 
@@ -50,6 +77,10 @@ class DeploymentConfig:
     #: out-of-band observability (metrics + causal traces); off by default
     #: so unobserved deployments pay nothing
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+
+    #: fault-injection scenario knobs; off by default, so ordinary
+    #: deployments carry no per-message fault-check overhead
+    chaos: ChaosConfig = field(default_factory=ChaosConfig)
 
     def __post_init__(self) -> None:
         if self.byzantine_m < 1:

@@ -48,6 +48,7 @@ from repro.routing.probabilistic import ProbabilisticLocator
 from repro.routing.salt import SaltedRouter
 from repro.routing.service import LocationService
 from repro.sim.failures import FailureInjector
+from repro.sim.faults import NetworkFaultInjector
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network, NodeId, build_transit_stub_topology
 from repro.telemetry import Telemetry
@@ -127,6 +128,12 @@ class OceanStoreSystem:
         )
         self.network = Network(self.kernel, self.graph, telemetry=self.telemetry)
         self.injector = FailureInjector(self.kernel, self.network, seeds.derive("failures"))
+        #: per-link message fault schedules; attached only when chaos is
+        #: enabled so ordinary deployments skip the per-send rule check
+        self.net_faults: NetworkFaultInjector | None = None
+        if self.config.chaos.enabled:
+            self.net_faults = NetworkFaultInjector(rng=seeds.derive("link-faults"))
+            self.network.fault_injector = self.net_faults
         self._rng = seeds.derive("system")
 
         # -- servers -------------------------------------------------------

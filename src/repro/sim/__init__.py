@@ -3,14 +3,17 @@
 The paper's evaluation ran on a planned wide-area deployment; this package
 provides the deterministic simulator that replaces it: an event kernel
 (:mod:`repro.sim.kernel`), a transit-stub network with latency and byte
-accounting (:mod:`repro.sim.network`), failure/churn injection
-(:mod:`repro.sim.failures`), and measurement helpers
+accounting (:mod:`repro.sim.network`), crash/churn injection
+(:mod:`repro.sim.failures`), per-link message fault schedules
+(:mod:`repro.sim.faults`), and measurement helpers
 (:mod:`repro.sim.stats`).
 """
 
 from repro.sim.failures import ChurnParams, FailureInjector
+from repro.sim.faults import FaultDecision, LinkFaultRule, NetworkFaultInjector
 from repro.sim.kernel import EventHandle, Kernel, SimulationError, Timer
 from repro.sim.network import (
+    Corrupted,
     LinkStats,
     Message,
     Network,
@@ -22,15 +25,19 @@ from repro.sim.stats import Counter, Distribution, EmptyDistributionError
 
 __all__ = [
     "ChurnParams",
+    "Corrupted",
     "Counter",
     "Distribution",
     "EmptyDistributionError",
     "EventHandle",
     "FailureInjector",
+    "FaultDecision",
     "Kernel",
+    "LinkFaultRule",
     "LinkStats",
     "Message",
     "Network",
+    "NetworkFaultInjector",
     "NodeId",
     "SimulationError",
     "Timer",

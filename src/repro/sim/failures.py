@@ -40,6 +40,11 @@ class FailureInjector:
         self._on_crash: list[Callable[[NodeId], None]] = []
         self._on_revive: list[Callable[[NodeId], None]] = []
         self._churning: set[NodeId] = set()
+        #: per-node churn generation; pending crash/revive closures carry
+        #: the generation they were scheduled under and no-op once it
+        #: moves on, so stop_churn()/start_churn() cycles cannot leave a
+        #: node driven by two overlapping schedules.
+        self._generation: dict[NodeId, int] = {}
 
     def on_crash(self, callback: Callable[[NodeId], None]) -> None:
         self._on_crash.append(callback)
@@ -62,9 +67,15 @@ class FailureInjector:
                 cb(node)
 
     def crash_fraction(self, nodes: Sequence[NodeId], fraction: float) -> list[NodeId]:
-        """Crash a uniform random ``fraction`` of ``nodes``; returns victims."""
+        """Crash a uniform random ``fraction`` of ``nodes``; returns victims.
+
+        Victims are sampled from the currently-up subset only, so the
+        requested fraction of ``nodes`` actually goes down (crashing an
+        already-down node would silently shrink the storm).
+        """
         count = int(round(len(nodes) * fraction))
-        victims = self.rng.sample(list(nodes), count)
+        alive = [n for n in nodes if not self.network.is_down(n)]
+        victims = self.rng.sample(alive, min(count, len(alive)))
         for node in victims:
             self.crash(node)
         return victims
@@ -83,29 +94,43 @@ class FailureInjector:
             if node in self._churning:
                 continue
             self._churning.add(node)
-            self._schedule_crash(node, params)
+            generation = self._generation.get(node, 0) + 1
+            self._generation[node] = generation
+            self._schedule_crash(node, params, generation)
 
     def stop_churn(self) -> None:
-        self._churning.clear()
+        """Stop churning; pending scheduled transitions are invalidated.
 
-    def _schedule_crash(self, node: NodeId, params: ChurnParams) -> None:
+        Bumping each node's generation (rather than only clearing the
+        churn set) kills closures already sitting in the kernel queue:
+        without this, a node re-added by a later ``start_churn`` would be
+        driven by both the stale schedule and the new one.
+        """
+        self._churning.clear()
+        for node in self._generation:
+            self._generation[node] += 1
+
+    def _live(self, node: NodeId, generation: int) -> bool:
+        return node in self._churning and self._generation.get(node) == generation
+
+    def _schedule_crash(self, node: NodeId, params: ChurnParams, generation: int) -> None:
         delay = self.rng.expovariate(1.0 / params.mean_uptime_ms)
 
         def do_crash() -> None:
-            if node not in self._churning:
+            if not self._live(node, generation):
                 return
             self.crash(node)
-            self._schedule_revive(node, params)
+            self._schedule_revive(node, params, generation)
 
         self.kernel.call_after(delay, do_crash)
 
-    def _schedule_revive(self, node: NodeId, params: ChurnParams) -> None:
+    def _schedule_revive(self, node: NodeId, params: ChurnParams, generation: int) -> None:
         delay = self.rng.expovariate(1.0 / params.mean_downtime_ms)
 
         def do_revive() -> None:
-            if node not in self._churning:
+            if not self._live(node, generation):
                 return
             self.revive(node)
-            self._schedule_crash(node, params)
+            self._schedule_crash(node, params, generation)
 
         self.kernel.call_after(delay, do_revive)

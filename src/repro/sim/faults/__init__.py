@@ -1,0 +1,23 @@
+"""Network-level fault injection for the simulated wide area.
+
+OceanStore's core claim is survival atop an *untrusted* infrastructure
+(Section 1.2): links lose, duplicate, reorder, and garble messages, and
+whole regions partition asymmetrically.  :class:`NetworkFaultInjector`
+applies per-link fault schedules to every message the simulated
+:class:`~repro.sim.network.Network` carries; Byzantine *replica*
+behaviour lives with the agreement protocol in
+:mod:`repro.consistency.byzantine`, and crash/churn schedules in
+:mod:`repro.sim.failures`.
+"""
+
+from repro.sim.faults.network import (
+    FaultDecision,
+    LinkFaultRule,
+    NetworkFaultInjector,
+)
+
+__all__ = [
+    "FaultDecision",
+    "LinkFaultRule",
+    "NetworkFaultInjector",
+]

@@ -41,6 +41,18 @@ class Message:
     size_bytes: int
 
 
+@dataclass(frozen=True, slots=True)
+class Corrupted:
+    """A garbled frame: the payload arrived but fails integrity checks.
+
+    Protocol handlers dispatch on payload type, so a corrupted message is
+    delivered (it consumes bandwidth and a handler invocation) but no
+    protocol acts on it -- the application-layer view of a bad checksum.
+    """
+
+    original: Any
+
+
 @dataclass
 class LinkStats:
     messages: int = 0
@@ -136,6 +148,13 @@ class Network:
         self._handlers: dict[NodeId, list[Callable[[Message], None]]] = {}
         self._down: set[NodeId] = set()
         self._partitions: list[tuple[set[NodeId], set[NodeId]]] = []
+        #: one-way partitions: (src side, dst side) pairs where traffic
+        #: src->dst drops but dst->src still flows
+        self._asym_partitions: list[tuple[set[NodeId], set[NodeId]]] = []
+        #: optional per-link fault schedule (duck-typed: anything with a
+        #: ``decide(src, dst, now) -> FaultDecision`` method; see
+        #: :mod:`repro.sim.faults.network`)
+        self.fault_injector = None
         self._latency_cache: dict[NodeId, dict[NodeId, float]] = {}
         self._hops_cache: dict[NodeId, dict[NodeId, int]] = {}
         self.stats_total_messages = 0
@@ -190,12 +209,27 @@ class Network:
         """Drop all traffic between the two sides until healed."""
         self._partitions.append((set(side_a), set(side_b)))
 
+    def add_asymmetric_partition(
+        self, src_side: set[NodeId], dst_side: set[NodeId]
+    ) -> None:
+        """Drop traffic from ``src_side`` to ``dst_side`` only.
+
+        Models one-way reachability loss (BGP misconfiguration, NAT
+        breakage): acks flow, requests do not.
+        """
+        self._asym_partitions.append((set(src_side), set(dst_side)))
+
     def heal_partitions(self) -> None:
         self._partitions.clear()
+        self._asym_partitions.clear()
 
     def _partitioned(self, a: NodeId, b: NodeId) -> bool:
+        """True when traffic from ``a`` to ``b`` is cut."""
         for side_a, side_b in self._partitions:
             if (a in side_a and b in side_b) or (a in side_b and b in side_a):
+                return True
+        for src_side, dst_side in self._asym_partitions:
+            if a in src_side and b in dst_side:
                 return True
         return False
 
@@ -258,6 +292,22 @@ class Network:
             return
         delay = self.latency_ms(src, dst) + self.PER_MESSAGE_OVERHEAD_MS
 
+        copies = 1
+        injector = self.fault_injector
+        if injector is not None:
+            decision = injector.decide(src, dst, self.kernel.now)
+            if decision.drop:
+                self.stats_dropped += 1
+                if instrumented:
+                    tel.count("net_dropped_total", reason="fault")
+                return
+            if decision.corrupt:
+                message = Message(src, dst, Corrupted(payload), size_bytes)
+                if instrumented:
+                    tel.count("net_corrupted_total")
+            delay += decision.extra_delay_ms
+            copies += decision.duplicates
+
         def deliver() -> None:
             if dst in self._down or self._partitioned(src, dst):
                 self.stats_dropped += 1
@@ -276,5 +326,9 @@ class Network:
         # Trace-context capture happens inside call_after when the
         # kernel's trace_wrapper is installed: the delivery callback (and
         # hence every span the destination handler opens) binds to the
-        # span that was current at send time.
-        self.kernel.call_after(delay, deliver)
+        # span that was current at send time.  Duplicated copies trail
+        # the original by one processing overhead each.
+        for i in range(copies):
+            self.kernel.call_after(
+                delay + i * self.PER_MESSAGE_OVERHEAD_MS, deliver
+            )

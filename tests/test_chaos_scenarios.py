@@ -1,0 +1,148 @@
+"""Chaos-scenario matrix: every fault type against every subsystem.
+
+Each test drives a registered scenario through ``run_scenario`` and
+asserts the invariant oracle's verdict.  The pass criterion is exact:
+the set of violated invariants must equal the scenario's expectation
+(empty for the tolerance scenarios; quorum-feasibility + liveness for
+the deliberately undersized ring), so these tests exercise the oracle
+as much as the protocols.
+
+Every report carries the seed and a trace digest; the replay tests
+assert that the same (scenario, seed) pair reproduces bit-identically,
+which is what makes a CI chaos failure debuggable from its printed seed.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import SCENARIOS, run_scenario, scenario_descriptions
+from repro.core import ChaosConfig
+
+SEEDS = (0, 3)
+
+BYZANTINE_SCENARIOS = (
+    "pbft-silent",
+    "pbft-equivocate",
+    "pbft-delay",
+    "pbft-corrupt",
+)
+
+ALL_SCENARIOS = BYZANTINE_SCENARIOS + (
+    "pbft-quorum-violation",
+    "routing-churn",
+    "dissemination-loss",
+    "archival-crash-repair",
+)
+
+
+def test_registry_is_complete():
+    assert set(SCENARIOS) == set(ALL_SCENARIOS)
+    descriptions = scenario_descriptions()
+    assert set(descriptions) == set(ALL_SCENARIOS)
+    assert all(descriptions.values())
+
+
+# ---------------------------------------------------------------------------
+# Byzantine strategies against a correctly-sized ring (n = 3m + 1)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", BYZANTINE_SCENARIOS)
+def test_byzantine_strategy_tolerated_at_full_size(name, seed):
+    report = run_scenario(name, seed=seed)
+    assert report.passed, report.render(include_trace=True)
+    assert report.invariants.violated_names() == set()
+    # Safety and liveness were actually checked, not skipped.
+    checked = set(report.invariants.checked)
+    assert {"agreement-safety", "quorum-feasibility", "liveness"} <= checked
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_quorum_violation_detected_below_3m_plus_1(seed):
+    """n = 3m cannot mask m faults: the oracle must say so, loudly."""
+    report = run_scenario("pbft-quorum-violation", seed=seed)
+    assert report.passed, report.render(include_trace=True)
+    violated = report.invariants.violated_names()
+    assert violated == {"quorum-feasibility", "liveness"}
+    # Even in the undersized ring, the honest replicas never diverge.
+    assert "agreement-safety" in report.invariants.checked
+    assert "agreement-safety" not in violated
+
+
+# ---------------------------------------------------------------------------
+# Network and storage fault classes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "name", ("routing-churn", "dissemination-loss", "archival-crash-repair")
+)
+def test_infrastructure_faults_tolerated(name, seed):
+    report = run_scenario(name, seed=seed)
+    assert report.passed, report.render(include_trace=True)
+    assert report.invariants.violated_names() == set()
+
+
+def test_archival_scenario_checks_reconstruction_not_routing():
+    """Survivor-only reconstruction: nodes stay down, so the routing
+    check is deliberately out of scope for this scenario."""
+    report = run_scenario("archival-crash-repair", seed=0)
+    checked = set(report.invariants.checked)
+    assert "archival-reconstruction" in checked
+    assert "routing-reconvergence" not in checked
+
+
+# ---------------------------------------------------------------------------
+# Replayability: the printed seed is the whole experiment
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ("pbft-equivocate", "dissemination-loss"))
+def test_same_seed_replays_bit_identically(name):
+    first = run_scenario(name, seed=17)
+    second = run_scenario(name, seed=17)
+    assert first.trace_digest == second.trace_digest
+    assert first.events == second.events
+    assert first.invariants.checked == second.invariants.checked
+    assert first.seed == second.seed == 17
+
+
+def test_different_seeds_diverge():
+    a = run_scenario("routing-churn", seed=0)
+    b = run_scenario("routing-churn", seed=1)
+    assert a.trace_digest != b.trace_digest
+
+
+def test_intensity_and_duration_feed_the_trace():
+    mild = ChaosConfig(enabled=True, duration_ms=20_000.0, intensity=0.1)
+    harsh = ChaosConfig(enabled=True, duration_ms=20_000.0, intensity=0.5)
+    a = run_scenario("dissemination-loss", seed=4, chaos=mild)
+    b = run_scenario("dissemination-loss", seed=4, chaos=harsh)
+    assert a.trace_digest != b.trace_digest
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_report_round_trips_through_json():
+    report = run_scenario("pbft-quorum-violation", seed=0)
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["scenario"] == "pbft-quorum-violation"
+    assert payload["seed"] == 0
+    assert payload["passed"] is True
+    assert sorted(payload["expect_violations"]) == [
+        "liveness",
+        "quorum-feasibility",
+    ]
+
+
+def test_render_names_scenario_and_seed():
+    report = run_scenario("pbft-silent", seed=0)
+    text = report.render()
+    assert "pbft-silent" in text
+    assert "seed=0" in text

@@ -262,3 +262,99 @@ class TestMeasuredBandwidth:
         big_norm = big_bytes / minimum_cost_bytes(big.size_bytes(), 4)
         assert big_norm < small_norm
         assert big_norm < 2.0
+
+
+class TestLaggardCatchUp:
+    """State transfer for replicas that missed committed slots."""
+
+    def _partitioned_laggard(self, author):
+        """Commit one update while replica 3 is cut off; return the parts."""
+        from repro.consistency.pbft import update_digest
+
+        kernel, network, ring, clients = make_ring(m=1)
+        update = make_simple_update(author)
+        # Cut replica 3 off from its peers but not from the client: it
+        # learns the request exists (arming its progress timer) yet
+        # misses the entire agreement, so only state transfer can save it.
+        network.add_partition({3}, {0, 1, 2})
+        ring.submit(clients[0], update)
+        kernel.run(until=60_000.0)
+        laggard = ring.replicas[3]
+        assert laggard.last_executed_seq == -1
+        donor = ring.replicas[0]
+        assert donor.executed_by_seq[0] == update_digest(update)
+        return kernel, network, ring, update, donor, laggard
+
+    def test_catch_up_over_healed_partition(self, author):
+        kernel, network, ring, update, donor, laggard = self._partitioned_laggard(
+            author
+        )
+        network.heal_partitions()
+        kernel.run(until=120_000.0)
+        assert laggard.last_executed_seq == 0
+        assert update.update_id in laggard.executed_updates
+
+    def test_single_signer_claim_rejected(self, author):
+        from repro.consistency.pbft import CatchUpResponse, ExecutedClaim
+
+        kernel, network, ring, update, donor, laggard = self._partitioned_laggard(
+            author
+        )
+        digest = donor.executed_by_seq[0]
+        share = (0, donor.sign_shares[0][0])
+        claim = ExecutedClaim(0, digest, update, (share,))
+        laggard._on_catch_up_response(CatchUpResponse((), (), 0, (claim,)))
+        # one verified signer is not > m: a lone Byzantine could be lying
+        assert laggard.last_executed_seq == -1
+
+    def test_claims_accumulate_across_responses(self, author):
+        from repro.consistency.pbft import CatchUpResponse, ExecutedClaim
+
+        kernel, network, ring, update, donor, laggard = self._partitioned_laggard(
+            author
+        )
+        digest = donor.executed_by_seq[0]
+        for signer in (0, 1):
+            share = (signer, donor.sign_shares[0][signer])
+            claim = ExecutedClaim(0, digest, update, (share,))
+            laggard._on_catch_up_response(
+                CatchUpResponse((), (), signer, (claim,))
+            )
+        # m+1 distinct verified signers across *separate* responses
+        assert laggard.last_executed_seq == 0
+        assert update.update_id in laggard.executed_updates
+
+    def test_claim_with_wrong_body_rejected(self, author):
+        from repro.consistency.pbft import CatchUpResponse, ExecutedClaim
+
+        kernel, network, ring, update, donor, laggard = self._partitioned_laggard(
+            author
+        )
+        digest = donor.executed_by_seq[0]
+        forged_body = make_simple_update(author, payload=b"forged", ts=9.0)
+        shares = tuple(sorted(donor.sign_shares[0].items()))
+        claim = ExecutedClaim(0, digest, forged_body, shares)
+        laggard._on_catch_up_response(CatchUpResponse((), (), 0, (claim,)))
+        assert laggard.last_executed_seq == -1
+
+    def test_claim_with_forged_signatures_rejected(self, author):
+        from repro.consistency.pbft import CatchUpResponse, ExecutedClaim
+
+        kernel, network, ring, update, donor, laggard = self._partitioned_laggard(
+            author
+        )
+        digest = donor.executed_by_seq[0]
+        shares = tuple((idx, b"not-a-signature") for idx in (0, 1, 2))
+        claim = ExecutedClaim(0, digest, update, shares)
+        laggard._on_catch_up_response(CatchUpResponse((), (), 0, (claim,)))
+        assert laggard.last_executed_seq == -1
+
+    def test_pre_prepare_alone_arms_progress_timer(self, author):
+        from repro.consistency.pbft import PrePrepare, update_digest
+
+        kernel, network, ring, clients = make_ring(m=1)
+        update = make_simple_update(author)
+        replica = ring.replicas[2]  # non-leader that never saw the request
+        replica.known_by_digest[update_digest(update)] = update
+        replica._on_pre_prepare(PrePrepare(0, 0, update_digest(update)))
+        assert update.update_id in replica._pending_timeouts

@@ -7,7 +7,9 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.archival import ReedSolomonCode, encode_archival, reconstruct_archival
+from repro.chaos import InvariantChecker
 from repro.consistency import normalized_cost, update_cost_bytes
+from repro.core import DeploymentConfig, OceanStoreSystem, make_client
 from repro.core.system import deserialize_state, serialize_state
 from repro.data import (
     AppendBlock,
@@ -23,7 +25,7 @@ from repro.data import (
 from repro.crypto import make_principal
 from repro.naming import object_guid
 from repro.routing import PlaxtonMesh
-from repro.sim import Kernel, Network
+from repro.sim import Kernel, Network, TopologyParams
 from repro.util import GUID, GUID_BITS
 
 AUTHOR = make_principal("prop-author", random.Random(1000), bits=256)
@@ -217,3 +219,119 @@ def test_cost_model_bounds(u, m):
 def test_cost_model_monotone_in_size(u1, factor, m):
     n = 3 * m + 1
     assert normalized_cost(u1 * factor, n) < normalized_cost(u1, n)
+
+
+# ---------------------------------------------------------------------------
+# Fault interleavings: crash/revive/partition/heal in any order
+# ---------------------------------------------------------------------------
+
+FAULT_OPS = ("crash", "revive", "partition", "heal")
+
+
+def _small_system(seed):
+    config = DeploymentConfig(
+        seed=seed,
+        topology=TopologyParams(
+            transit_nodes=4, stubs_per_transit=1, nodes_per_stub=2
+        ),
+        secondaries_per_object=2,
+        archival_k=2,
+        archival_n=4,
+    )
+    return OceanStoreSystem(config)
+
+
+def _apply_fault(system, rng, op, candidates):
+    if op == "crash":
+        system.injector.crash(rng.choice(candidates))
+    elif op == "revive":
+        system.injector.revive(rng.choice(candidates))
+    elif op == "partition":
+        half = len(candidates) // 2
+        side_a, side_b = set(candidates[:half]), set(candidates[half:])
+        if rng.random() < 0.5:
+            system.network.add_partition(side_a, side_b)
+        else:
+            system.network.add_asymmetric_partition(side_a, side_b)
+    elif op == "heal":
+        system.network.heal_partitions()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    ops=st.lists(st.sampled_from(FAULT_OPS), min_size=1, max_size=10),
+)
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_fault_interleavings_never_break_version_logs_or_location(seed, ops):
+    """Any crash/revive/partition/heal schedule leaves committed history
+    monotone, and healing restores every published GUID's locatability
+    (the paper's self-repairing location mesh, Section 4.3.3)."""
+    system = _small_system(seed)
+    client = make_client(system, "prop-client", seed=seed + 1)
+    handles = [client.create_object(f"prop-obj-{i}") for i in range(2)]
+    for i, handle in enumerate(handles):
+        assert client.write(handle, b"committed before the storm %d" % i).committed
+    system.settle()
+
+    rng = random.Random(seed)
+    candidates = sorted(set(system.servers) - set(system.ring_nodes))
+    for op in ops:
+        _apply_fault(system, rng, op, candidates)
+        system.settle(5_000.0)
+
+    # Heal everything and let soft state reconverge.
+    system.network.heal_partitions()
+    for node in candidates:
+        system.injector.revive(node)
+    system.settle()
+    system.probabilistic.converge()
+
+    checker = InvariantChecker(system)
+    assert checker.check_version_monotonicity() == []
+    assert checker.check_routing_reconvergence() == []
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    ops=st.lists(st.sampled_from(("crash", "revive")), min_size=2, max_size=12),
+)
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_churn_never_rewrites_committed_history(seed, ops):
+    """Crash/revive churn may delay progress but can never change what
+    was already committed: every surviving replica log stays a prefix-
+    consistent, strictly-increasing version sequence."""
+    system = _small_system(seed)
+    client = make_client(system, "prop-client", seed=seed + 1)
+    handle = client.create_object("prop-durable")
+    assert client.write(handle, b"v1").committed
+    system.settle()
+    before = {
+        node: [
+            (u.update_id, u.resulting_version)
+            for u in replica.committed_log.history()
+        ]
+        for tier in system.tiers.values()
+        for node, replica in tier.replicas.items()
+    }
+
+    rng = random.Random(seed)
+    candidates = sorted(set(system.servers) - set(system.ring_nodes))
+    for op in ops:
+        _apply_fault(system, rng, op, candidates)
+        system.settle(2_000.0)
+    for node in candidates:
+        system.injector.revive(node)
+    system.settle()
+
+    checker = InvariantChecker(system)
+    assert checker.check_version_monotonicity() == []
+    after = {
+        node: [
+            (u.update_id, u.resulting_version)
+            for u in replica.committed_log.history()
+        ]
+        for tier in system.tiers.values()
+        for node, replica in tier.replicas.items()
+    }
+    for node, history in before.items():
+        assert after[node][: len(history)] == history

@@ -5,23 +5,50 @@ computes the sweep, prints the same rows/series the paper reports, and
 records the numbers as JSON under ``benchmarks/results/`` so
 EXPERIMENTS.md can cite them.  pytest-benchmark wraps a representative
 unit of work from each experiment for timing.
+
+Results are written in the common envelope schema
+(:mod:`repro.util.benchjson`): the sweep data lands under ``series``,
+with schema version, seed, and git revision alongside, so every
+recorded number states how to reproduce it.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any
+import sys
+from typing import Any, Mapping
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.util.benchjson import result_envelope  # noqa: E402
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def record_result(experiment: str, data: Any) -> None:
-    """Persist an experiment's series for EXPERIMENTS.md."""
+def record_result(
+    experiment: str,
+    data: Any,
+    seed: int = 0,
+    metrics: Mapping[str, float] | None = None,
+    config: Mapping[str, Any] | None = None,
+) -> None:
+    """Persist an experiment's series for EXPERIMENTS.md.
+
+    ``data`` becomes the envelope's ``series``; pass ``metrics`` for
+    numbers a regression gate could compare.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
+    envelope = result_envelope(
+        name=experiment,
+        seed=seed,
+        metrics=metrics or {},
+        config=config,
+        series=data,
+    )
     path = RESULTS_DIR / f"{experiment}.json"
     with open(path, "w") as f:
-        json.dump(data, f, indent=2, sort_keys=True, default=str)
+        json.dump(envelope, f, indent=2, sort_keys=True, default=str)
 
 
 def print_table(title: str, headers: list[str], rows: list[list[Any]]) -> None:

@@ -1,0 +1,341 @@
+"""Unified benchmark observatory: ``python benchmarks/harness.py``.
+
+One runner, one result schema.  Each registered bench stands up a
+seeded deployment, drives a workload, and reports:
+
+* **metrics** -- deterministic numbers (simulated time, message and byte
+  counts, per-subsystem traffic, fitted cost-model coefficients) that
+  the CI regression gate compares against committed baselines;
+* **timings** -- wall-clock seconds, informational only;
+* **series** -- the per-phase traffic breakdown for humans.
+
+Results append to ``BENCH_<name>.json`` trajectory files at the repo
+root (schema: :mod:`repro.util.benchjson`), so the tree itself records
+how every hot-path metric moved across commits.
+
+Commands::
+
+    python benchmarks/harness.py list
+    python benchmarks/harness.py run   [--fast] [--seed N] [--only NAME] [--out DIR]
+    python benchmarks/harness.py check [--fast] [--seed N] [--tolerance T]
+
+``check`` reruns the benches and fails (exit 1) when any deterministic
+metric drifts beyond the tolerance band from the latest committed
+baseline run with the same mode and seed -- the perf-regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Callable
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.consistency import fit_cost_model, measure_update_traffic  # noqa: E402
+from repro.core import DeploymentConfig, OceanStoreSystem, make_client  # noqa: E402
+from repro.sim import TopologyParams  # noqa: E402
+from repro.util.benchjson import (  # noqa: E402
+    append_run,
+    compare_metrics,
+    latest_run,
+    load_trajectory,
+    result_envelope,
+)
+
+
+class BenchResult:
+    def __init__(
+        self,
+        metrics: dict[str, float],
+        config: dict,
+        series: object = None,
+    ) -> None:
+        self.metrics = metrics
+        self.config = config
+        self.series = series
+
+
+BENCHES: dict[str, Callable[[int, bool], BenchResult]] = {}
+
+
+def bench(name: str):
+    def register(fn: Callable[[int, bool], BenchResult]):
+        BENCHES[name] = fn
+        return fn
+
+    return register
+
+
+def _small_system(seed: int) -> OceanStoreSystem:
+    return OceanStoreSystem(
+        DeploymentConfig(
+            seed=seed,
+            topology=TopologyParams(
+                transit_nodes=4, stubs_per_transit=2, nodes_per_stub=5
+            ),
+        )
+    )
+
+
+def _subsystem_metrics(system: OceanStoreSystem) -> dict[str, float]:
+    """Per-subsystem message/byte totals from the network's phase ledger."""
+    metrics: dict[str, float] = {}
+    for subsystem, phases in system.network.phase_report().items():
+        metrics[f"{subsystem}_messages"] = sum(
+            v["messages"] for v in phases.values()
+        )
+        metrics[f"{subsystem}_bytes"] = sum(v["bytes"] for v in phases.values())
+    return metrics
+
+
+@bench("fig6_costmodel")
+def bench_fig6_costmodel(seed: int, fast: bool) -> BenchResult:
+    """Fit measured inner-ring traffic to b = c1*n^2 + (u+c2)*n + c3."""
+    sizes = (10_000,) if fast else (1_000, 10_000, 100_000)
+    ms = (2, 3, 4)
+    measurements = [
+        measure_update_traffic(m, size, seed=seed)
+        for m in ms
+        for size in sizes
+    ]
+    fit = fit_cost_model(
+        [(t.n, t.update_bytes, t.total_bytes) for t in measurements]
+    )
+    metrics = {
+        "c1": round(fit.c1, 3),
+        "c2": round(fit.c2, 3),
+        "c3": round(fit.c3, 3),
+        "max_rel_error": round(fit.max_rel_error, 6),
+        "quadratic_ok": int(fit.quadratic_ok),
+    }
+    for t in measurements:
+        if t.update_size == sizes[0]:
+            metrics[f"bytes_n{t.n}"] = t.total_bytes
+            metrics[f"messages_n{t.n}"] = t.total_messages
+    return BenchResult(
+        metrics,
+        config={"ms": list(ms), "update_sizes": list(sizes)},
+        series={"fit": fit.to_dict(), "measurements": [t.to_dict() for t in measurements]},
+    )
+
+
+@bench("update_path")
+def bench_update_path(seed: int, fast: bool) -> BenchResult:
+    """Full-system writes: the Figure 5 path end to end."""
+    updates = 3 if fast else 10
+    system = _small_system(seed)
+    client = make_client(system, "bench-author", seed=seed + 1)
+    obj = client.create_object("bench-object")
+    system.settle()
+    base_messages = system.network.stats_total_messages
+    base_bytes = system.network.stats_total_bytes
+    start_ms = system.kernel.now
+    committed = 0
+    for i in range(updates):
+        result = client.write(obj, f"update-{i}".encode() * 32)
+        committed += int(result.committed)
+    metrics = {
+        "updates": updates,
+        "committed": committed,
+        "sim_time_ms": round(system.kernel.now - start_ms, 1),
+        "messages_total": system.network.stats_total_messages - base_messages,
+        "bytes_total": system.network.stats_total_bytes - base_bytes,
+        "dropped_total": system.network.stats_dropped,
+    }
+    metrics.update(_subsystem_metrics(system))
+    return BenchResult(
+        metrics,
+        config={"updates": updates, "topology": "4x2x5"},
+        series=system.network.phase_report(),
+    )
+
+
+@bench("read_path")
+def bench_read_path(seed: int, fast: bool) -> BenchResult:
+    """Two-tier location reads against a settled deployment."""
+    reads = 5 if fast else 20
+    system = _small_system(seed)
+    client = make_client(system, "bench-reader", seed=seed + 1)
+    obj = client.create_object("bench-object")
+    client.write(obj, b"read-path payload " * 16)
+    system.settle()
+    base_messages = system.network.stats_total_messages
+    base_bytes = system.network.stats_total_bytes
+    start_ms = system.kernel.now
+    total = 0
+    for _ in range(reads):
+        total += len(client.read(obj))
+        system.settle(1_000.0)
+    metrics = {
+        "reads": reads,
+        "bytes_read": total,
+        "sim_time_ms": round(system.kernel.now - start_ms, 1),
+        "messages_total": system.network.stats_total_messages - base_messages,
+        "bytes_total": system.network.stats_total_bytes - base_bytes,
+    }
+    return BenchResult(metrics, config={"reads": reads, "topology": "4x2x5"})
+
+
+@bench("archival")
+def bench_archival(seed: int, fast: bool) -> BenchResult:
+    """Erasure-coded archive and survivor-only restore."""
+    versions = 2 if fast else 5
+    system = _small_system(seed)
+    client = make_client(system, "bench-archivist", seed=seed + 1)
+    obj = client.create_object("bench-archive")
+    for i in range(versions):
+        client.write(obj, f"archived-version-{i}".encode() * 16)
+    system.settle()
+    restored = 0
+    for version in range(1, versions + 1):
+        state = system.restore_from_archive(obj.guid, version)
+        restored += int(state.version == version)
+    metrics = {
+        "versions": versions,
+        "restored": restored,
+        "archived_objects": len(system.archive_index.objects),
+        "sim_time_ms": round(system.kernel.now, 1),
+        "messages_total": system.network.stats_total_messages,
+        "bytes_total": system.network.stats_total_bytes,
+    }
+    return BenchResult(
+        metrics,
+        config={
+            "versions": versions,
+            "k": system.config.archival_k,
+            "n": system.config.archival_n,
+        },
+    )
+
+
+# -- runner -------------------------------------------------------------------
+
+
+def _selected(only: str | None) -> list[str]:
+    if only is None:
+        return sorted(BENCHES)
+    if only not in BENCHES:
+        known = ", ".join(sorted(BENCHES))
+        raise SystemExit(f"unknown bench {only!r} (known: {known})")
+    return [only]
+
+
+def _run_one(name: str, seed: int, fast: bool) -> dict:
+    started = time.perf_counter()
+    result = BENCHES[name](seed, fast)
+    wall = time.perf_counter() - started
+    return result_envelope(
+        name=name,
+        seed=seed,
+        metrics=result.metrics,
+        config=result.config,
+        timings={"wall_seconds": round(wall, 3)},
+        series=result.series,
+        fast=fast,
+    )
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    width = max(len(name) for name in BENCHES)
+    for name in sorted(BENCHES):
+        doc = (BENCHES[name].__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<{width}}  {doc}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    out_dir = pathlib.Path(args.out) if args.out else REPO_ROOT
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in _selected(args.only):
+        envelope = _run_one(name, args.seed, args.fast)
+        path = out_dir / f"BENCH_{name}.json"
+        append_run(path, envelope)
+        wall = envelope["timings"]["wall_seconds"]
+        print(f"{name}: {wall:.2f}s wall -> {path}")
+        for key in sorted(envelope["metrics"]):
+            print(f"    {key} = {envelope['metrics'][key]}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """The regression gate: rerun and compare against committed baselines."""
+    failures = []
+    for name in _selected(args.only):
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        trajectory = load_trajectory(path)
+        baseline = latest_run(trajectory, fast=args.fast, seed=args.seed)
+        envelope = _run_one(name, args.seed, args.fast)
+        if args.out:
+            scratch = pathlib.Path(args.out)
+            scratch.mkdir(parents=True, exist_ok=True)
+            with open(scratch / f"BENCH_{name}.json", "w") as f:
+                json.dump(envelope, f, indent=2, sort_keys=True)
+        if baseline is None:
+            print(
+                f"{name}: no committed baseline for fast={args.fast} "
+                f"seed={args.seed}; recording nothing, gating nothing"
+            )
+            continue
+        problems = compare_metrics(
+            baseline["metrics"], envelope["metrics"], tolerance=args.tolerance
+        )
+        if problems:
+            print(f"{name}: REGRESSION vs {baseline['meta']['git_rev']}")
+            for problem in problems:
+                print(f"    {problem}")
+            failures.append(name)
+        else:
+            print(
+                f"{name}: OK vs {baseline['meta']['git_rev']} "
+                f"({len(baseline['metrics'])} metrics within "
+                f"{args.tolerance:.0%})"
+            )
+    if failures:
+        print(f"\nFAIL: {', '.join(failures)}")
+        return 1
+    print("\nall benches within tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="harness", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered benches")
+    for cmd in ("run", "check"):
+        p = sub.add_parser(
+            cmd,
+            help="run benches and append trajectories"
+            if cmd == "run"
+            else "run benches and gate against committed baselines",
+        )
+        p.add_argument("--fast", action="store_true", help="reduced sweeps")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--only", default=None, help="run a single bench")
+        p.add_argument(
+            "--out",
+            default=None,
+            help="write results here instead of the repo root (run), or "
+            "also save current results here as artifacts (check)",
+        )
+        if cmd == "check":
+            p.add_argument(
+                "--tolerance",
+                type=float,
+                default=0.05,
+                help="relative tolerance band per metric",
+            )
+    args = parser.parse_args(argv)
+    return {"list": cmd_list, "run": cmd_run, "check": cmd_check}[args.command](
+        args
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

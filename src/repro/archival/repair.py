@@ -118,6 +118,9 @@ class RepairSweeper:
         except (CodingError, IndexError):
             if tel.enabled:
                 tel.count("archival_sweeps_total", outcome="lost")
+                tel.record(
+                    "archival", "lost", guid=guid_bytes, live=len(live)
+                )
             return RepairReport(
                 archival_guid_bytes=guid_bytes,
                 live_fragments=len(live),
@@ -143,6 +146,13 @@ class RepairSweeper:
         if tel.enabled:
             tel.count("archival_sweeps_total", outcome="repaired")
             tel.count("archival_fragments_replaced_total", placed)
+            tel.record(
+                "archival",
+                "repair",
+                guid=guid_bytes,
+                live=len(live),
+                placed=placed,
+            )
         return RepairReport(
             archival_guid_bytes=guid_bytes,
             live_fragments=len(live),

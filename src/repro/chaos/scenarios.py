@@ -66,6 +66,9 @@ class ChaosReport:
     #: outcome -- two runs match iff this matches
     trace_digest: str
     span_dump: str = ""
+    #: flight-recorder timeline, auto-captured when the run fails (or on
+    #: request) -- byte-identical across runs with the same master seed
+    flight_dump: str = ""
     summary: str = ""
 
     def to_dict(self) -> dict:
@@ -75,6 +78,7 @@ class ChaosReport:
             "passed": self.passed,
             "summary": self.summary,
             "trace_digest": self.trace_digest,
+            "flight_dump": self.flight_dump,
             "expect_violations": list(self.expect_violations),
             "invariants": {
                 "checked": list(self.invariants.checked),
@@ -106,6 +110,11 @@ class ChaosReport:
         if not self.passed and self.span_dump:
             lines.append("  spans:")
             lines.extend(f"    {line}" for line in self.span_dump.splitlines())
+        if not self.passed and self.flight_dump:
+            lines.append("  flight recorder:")
+            lines.extend(
+                f"    {line}" for line in self.flight_dump.splitlines()
+            )
         if not self.passed:
             lines.append(
                 f"  replay: python -m repro chaos "
@@ -579,12 +588,17 @@ def _trace_digest(
 
 
 def run_scenario(
-    name: str, seed: int = 0, chaos: ChaosConfig | None = None
+    name: str,
+    seed: int = 0,
+    chaos: ChaosConfig | None = None,
+    capture_flight: bool = False,
 ) -> ChaosReport:
     """Run one scenario deterministically and judge it.
 
     Returns a :class:`ChaosReport`; ``report.passed`` means observed
     invariant violations matched the scenario's expectations exactly.
+    The flight-recorder timeline is captured into ``report.flight_dump``
+    automatically on failure, or always with ``capture_flight=True``.
     """
     if name not in SCENARIOS:
         known = ", ".join(sorted(SCENARIOS))
@@ -626,6 +640,14 @@ def run_scenario(
     span_dump = ""
     if not passed and ctx.telemetry is not None and ctx.telemetry.enabled:
         span_dump = ctx.telemetry.render_spans(max_depth=6)
+    flight_dump = ""
+    if (
+        (not passed or capture_flight)
+        and ctx.telemetry is not None
+        and ctx.telemetry.enabled
+        and ctx.telemetry.flight is not None
+    ):
+        flight_dump = ctx.telemetry.flight.render()
     if passed and not ctx.expect_violations:
         summary = "all invariants held"
     elif passed:
@@ -648,6 +670,7 @@ def run_scenario(
         events=tuple(ctx.events),
         trace_digest=digest,
         span_dump=span_dump,
+        flight_dump=flight_dump,
         summary=summary,
     )
 

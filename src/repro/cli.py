@@ -7,9 +7,13 @@ Commands:
 * ``topology``  -- describe the deployment a config would build;
 * ``reliability`` -- print the Section 4.5 availability table for given
                    parameters;
-* ``costmodel`` -- print the Figure 6 normalized-cost series;
+* ``costmodel`` -- print the Figure 6 normalized-cost series, or (with
+                   ``--fit``) fit measured inner-ring traffic back to
+                   the paper's equation across ring sizes;
 * ``telemetry`` -- run an instrumented scenario and print the causal
                    span tree plus the metrics table;
+* ``flightrec`` -- run a scenario with the flight recorder on and dump
+                   the causally ordered event timeline;
 * ``chaos``     -- run seeded fault-injection scenarios with invariant
                    checking; the same seed replays bit-identically.
 """
@@ -52,6 +56,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cost = sub.add_parser("costmodel", help="Figure 6 normalized costs")
     cost.add_argument("--faults", "-m", type=int, default=4)
+    cost.add_argument(
+        "--fit",
+        action="store_true",
+        help="measure one update through simulated rings at m=2,3,4 and "
+        "fit b = c1*n^2 + (u+c2)*n + c3 to the observed bytes",
+    )
+    cost.add_argument(
+        "--update-size", type=int, default=10_000, help="payload bytes for --fit"
+    )
+    cost.add_argument("--seed", type=int, default=0)
+    cost.add_argument(
+        "--json", action="store_true", help="emit the --fit report as JSON"
+    )
 
     telem = sub.add_parser(
         "telemetry", help="trace an instrumented scenario end to end"
@@ -70,6 +87,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the full metrics+spans export as JSON instead of tables",
+    )
+
+    flight = sub.add_parser(
+        "flightrec",
+        help="dump the flight-recorder timeline of a scenario run",
+    )
+    flight.add_argument("--seed", type=int, default=42)
+    flight.add_argument(
+        "--scenario",
+        choices=sorted(_SCENARIOS),
+        default="update-path",
+        help="instrumented scenario to record (ignored with --chaos)",
+    )
+    flight.add_argument(
+        "--chaos",
+        metavar="NAME",
+        default=None,
+        help="record a chaos scenario instead (see `repro chaos --list`)",
+    )
+    flight.add_argument(
+        "--category",
+        action="append",
+        default=None,
+        help="keep only these event categories (repeatable): "
+        "net, pbft, dissem, archival, kernel",
+    )
+    flight.add_argument(
+        "--limit", type=int, default=None, help="show only the last N events"
+    )
+    flight.add_argument(
+        "--capacity", type=int, default=4096, help="ring-buffer size"
+    )
+    flight.add_argument(
+        "--kernel",
+        action="store_true",
+        help="also record kernel schedule/fire events (noisy)",
+    )
+    flight.add_argument(
+        "--json", action="store_true", help="emit the dump as JSON"
     )
 
     chaos = sub.add_parser(
@@ -170,12 +226,58 @@ def cmd_reliability(args: argparse.Namespace) -> int:
 
 
 def cmd_costmodel(args: argparse.Namespace) -> int:
+    if args.fit:
+        return _costmodel_fit(args)
     n = replicas_for_faults(args.faults)
     print(f"m={args.faults} -> n={n} replicas")
     print(f"{'update size':>12} | normalized cost b/(u*n)")
     for size in (100, 1_000, 4_000, 10_000, 100_000, 1_000_000):
         print(f"{size:>11}B | {normalized_cost(size, n):.3f}")
     return 0
+
+
+def _costmodel_fit(args: argparse.Namespace) -> int:
+    """Measure real simulated traffic and fit the Figure 6 equation."""
+    from repro.consistency import fit_cost_model, measure_sweep
+
+    measurements = measure_sweep(update_size=args.update_size, seed=args.seed)
+    fit = fit_cost_model(
+        [(t.n, t.update_bytes, t.total_bytes) for t in measurements]
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "fit": fit.to_dict(),
+                    "measurements": [t.to_dict() for t in measurements],
+                },
+                indent=2,
+            )
+        )
+        return 0 if fit.quadratic_ok else 1
+    print(f"measured one {args.update_size}B update per ring (seed={args.seed}):")
+    print(f"{'n':>4} {'messages':>9} {'bytes':>10}  per-phase messages")
+    for t in measurements:
+        phases = t.phase_report.get("pbft", {})
+        detail = " ".join(
+            f"{ph}={v['messages']}" for ph, v in sorted(phases.items())
+        )
+        print(f"{t.n:>4} {t.total_messages:>9} {t.total_bytes:>10}  {detail}")
+    print()
+    print("fit to b = c1*n^2 + (u + c2)*n + c3:")
+    print(f"  c1={fit.c1:.1f}B  c2={fit.c2:.1f}B  c3={fit.c3:.1f}B")
+    print(f"  max relative error: {fit.max_rel_error:.2%}")
+    n_max = max(t.n for t in measurements)
+    share = fit.quadratic_share(n_max, float(args.update_size))
+    print(f"  quadratic share at n={n_max}: {share:.1%} of predicted bytes")
+    if fit.quadratic_ok:
+        print("  quadratic term OK (paper: c1 'on the order of 100 bytes')")
+        return 0
+    print(
+        f"  DEVIATION: fit misses tolerance {fit.tolerance:.0%} or c1 <= 0 -- "
+        "the measured traffic no longer follows the paper's equation"
+    )
+    return 1
 
 
 def _scenario_update_path(system: OceanStoreSystem, seed: int) -> str:
@@ -231,7 +333,8 @@ def _print_metrics_table(export: dict) -> None:
             s = histograms[name]
             print(
                 f"  {name:<{width}}  n={int(s['count'])} mean={s['mean']:.2f} "
-                f"p50={s['p50']:.2f} p99={s['p99']:.2f} max={s['max']:.2f}"
+                f"p50={s['p50']:.2f} p95={s['p95']:.2f} p99={s['p99']:.2f} "
+                f"max={s['max']:.2f}"
             )
 
 
@@ -256,6 +359,44 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     print(system.telemetry.render_spans(max_depth=args.max_depth))
     print()
     _print_metrics_table(system.telemetry.export())
+    return 0
+
+
+def cmd_flightrec(args: argparse.Namespace) -> int:
+    if args.chaos is not None:
+        # Chaos deployments own their telemetry; the report carries the
+        # captured timeline (category/limit filters apply to the
+        # instrumented scenarios, which expose the live recorder).
+        report = run_scenario(args.chaos, seed=args.seed, capture_flight=True)
+        print(
+            f"{'PASS' if report.passed else 'FAIL'}  {report.scenario}  "
+            f"seed={report.seed}",
+            file=sys.stderr,
+        )
+        print(report.flight_dump)
+        return 0 if report.passed else 1
+    system = OceanStoreSystem(
+        DeploymentConfig(
+            seed=args.seed,
+            topology=TopologyParams(
+                transit_nodes=4, stubs_per_transit=2, nodes_per_stub=5
+            ),
+            telemetry=TelemetryConfig(
+                enabled=True,
+                flight_capacity=args.capacity,
+                flight_kernel=args.kernel,
+            ),
+        )
+    )
+    status = _SCENARIOS[args.scenario](system, args.seed)
+    recorder = system.telemetry.flight
+    assert recorder is not None
+    if args.json:
+        print(status, file=sys.stderr)
+        print(recorder.dump_json(categories=args.category))
+        return 0
+    print(status, file=sys.stderr)
+    print(recorder.render(categories=args.category, limit=args.limit))
     return 0
 
 
@@ -291,6 +432,7 @@ _COMMANDS = {
     "reliability": cmd_reliability,
     "costmodel": cmd_costmodel,
     "telemetry": cmd_telemetry,
+    "flightrec": cmd_flightrec,
     "chaos": cmd_chaos,
 }
 

@@ -13,12 +13,19 @@ Figure 6.
 from repro.consistency.costmodel import (
     PROTOCOL_PHASES,
     CostConstants,
+    CostModelFit,
     crossover_update_size,
+    fit_cost_model,
     latency_estimate_ms,
     minimum_cost_bytes,
     normalized_cost,
     replicas_for_faults,
     update_cost_bytes,
+)
+from repro.consistency.measure import (
+    TrafficMeasurement,
+    measure_sweep,
+    measure_update_traffic,
 )
 from repro.consistency.byzantine import (
     ByzantineStrategy,
@@ -60,6 +67,7 @@ __all__ = [
     "CommittedPush",
     "CorruptDigestStrategy",
     "CostConstants",
+    "CostModelFit",
     "DelayedStrategy",
     "DisseminationTree",
     "EquivocatingStrategy",
@@ -74,10 +82,14 @@ __all__ = [
     "SecondaryTier",
     "SilentStrategy",
     "TentativeGossip",
+    "TrafficMeasurement",
     "TreeError",
     "crossover_update_size",
+    "fit_cost_model",
     "strategy_for",
     "latency_estimate_ms",
+    "measure_sweep",
+    "measure_update_traffic",
     "minimum_cost_bytes",
     "normalized_cost",
     "order_agreement",

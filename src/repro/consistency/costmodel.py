@@ -19,6 +19,7 @@ Figure 6 plots b normalized by the minimum (u*n) for (m,n) in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +87,89 @@ def crossover_update_size(
         raise ValueError("normalized cost is always > 1; target must exceed 1")
     numerator = constants.c1 * n * n + constants.c2 * n + constants.c3
     return numerator / (n * (target_normalized_cost - 1.0))
+
+
+@dataclass(frozen=True, slots=True)
+class CostModelFit:
+    """Least-squares fit of measured traffic to the paper's equation.
+
+    ``points`` are the (n, u, b) samples the fit consumed;
+    ``rel_errors`` is each sample's relative residual under the fitted
+    coefficients.  ``quadratic_ok`` is the deviation flag for the n^2
+    term: False when the fitted c1 is negative (the measured traffic is
+    not quadratic in n at all) or any sample misses by more than
+    ``tolerance``.
+    """
+
+    c1: float
+    c2: float
+    c3: float
+    points: tuple[tuple[int, float, float], ...]
+    rel_errors: tuple[float, ...]
+    tolerance: float
+
+    @property
+    def max_rel_error(self) -> float:
+        return max(abs(e) for e in self.rel_errors)
+
+    @property
+    def quadratic_ok(self) -> bool:
+        return self.c1 > 0 and self.max_rel_error <= self.tolerance
+
+    def predict(self, n: int, update_size: float) -> float:
+        return self.c1 * n * n + (update_size + self.c2) * n + self.c3
+
+    def quadratic_share(self, n: int, update_size: float) -> float:
+        """Fraction of predicted bytes owed to the n^2 term -- how far
+        the deployment sits from the regime where c1 dominates."""
+        return (self.c1 * n * n) / self.predict(n, update_size)
+
+    def to_dict(self) -> dict:
+        return {
+            "c1": self.c1,
+            "c2": self.c2,
+            "c3": self.c3,
+            "points": [list(p) for p in self.points],
+            "rel_errors": list(self.rel_errors),
+            "max_rel_error": self.max_rel_error,
+            "tolerance": self.tolerance,
+            "quadratic_ok": self.quadratic_ok,
+        }
+
+
+def fit_cost_model(
+    points: Iterable[Sequence[float]], tolerance: float = 0.25
+) -> CostModelFit:
+    """Fit b = c1*n^2 + (u + c2)*n + c3 to measured (n, u, b) samples.
+
+    The update term u*n is known exactly, so it moves to the left-hand
+    side and the remaining protocol overhead b - u*n regresses on the
+    basis [n^2, n, 1].  Requires samples at three or more distinct ring
+    sizes (three unknowns); more samples over-determine the system and
+    the residuals become the deviation signal.
+    """
+    import numpy as np
+
+    samples = [(int(n), float(u), float(b)) for n, u, b in points]
+    if len({n for n, _, _ in samples}) < 3:
+        raise ValueError(
+            "fitting three coefficients needs samples at >= 3 distinct ring sizes"
+        )
+    basis = np.array([[n * n, n, 1.0] for n, _, _ in samples])
+    overhead = np.array([b - u * n for n, u, b in samples])
+    coef, *_ = np.linalg.lstsq(basis, overhead, rcond=None)
+    c1, c2, c3 = (float(c) for c in coef)
+    rel_errors = tuple(
+        (c1 * n * n + (u + c2) * n + c3 - b) / b for n, u, b in samples
+    )
+    return CostModelFit(
+        c1=c1,
+        c2=c2,
+        c3=c3,
+        points=tuple(samples),
+        rel_errors=rel_errors,
+        tolerance=tolerance,
+    )
 
 
 #: The paper's six protocol phases (Section 4.4.5): client->primary,

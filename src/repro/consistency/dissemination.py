@@ -156,4 +156,19 @@ class DisseminationTree:
                     "dissemination_messages_total",
                     kind="invalidation" if degrade else "update",
                 )
-            self.network.send(node, child, child_payload, child_size)
+                tel.record(
+                    "dissem",
+                    "push",
+                    parent=node,
+                    child=child,
+                    payload="invalidation" if degrade else "update",
+                    bytes=child_size,
+                )
+            self.network.send(
+                node,
+                child,
+                child_payload,
+                child_size,
+                phase="invalidation" if degrade else "push",
+                subsystem="dissemination",
+            )

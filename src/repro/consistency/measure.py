@@ -1,0 +1,100 @@
+"""Measured update traffic: the empirical side of the Figure 6 model.
+
+:mod:`repro.consistency.costmodel` states what one update *should* cost:
+b = c1*n^2 + (u + c2)*n + c3.  This module drives one update through a
+bare simulated PBFT ring and reports what it *did* cost, split by
+protocol phase via :attr:`repro.sim.network.Network.phase_stats`.  The
+``repro costmodel --fit`` report and ``BENCH_fig6_costmodel.json`` fit
+these measurements back to the equation across ring sizes, so a change
+that silently inflates the quadratic term shows up as a coefficient
+shift rather than a vibe.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.consistency.pbft import InnerRing
+from repro.crypto import make_principal
+from repro.data import AppendBlock, TruePredicate, UpdateBranch, make_update
+from repro.naming import object_guid
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficMeasurement:
+    """Wire traffic of one update through an n-replica primary tier."""
+
+    m: int
+    n: int
+    update_size: int
+    #: actual on-the-wire size of the signed update (>= update_size)
+    update_bytes: int
+    total_messages: int
+    total_bytes: int
+    #: ``{subsystem: {phase: {"messages": m, "bytes": b}}}``
+    phase_report: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "m": self.m,
+            "n": self.n,
+            "update_size": self.update_size,
+            "update_bytes": self.update_bytes,
+            "total_messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+            "phase_report": self.phase_report,
+        }
+
+
+def measure_update_traffic(
+    m: int, update_size: int, seed: int = 0
+) -> TrafficMeasurement:
+    """Run one update through a bare PBFT ring and account every byte.
+
+    The topology is a complete graph at uniform 50 ms latency -- the
+    point is byte counts, not routing.  Everything derives from ``seed``,
+    so measurements are reproducible run to run.
+    """
+    n = 3 * m + 1
+    kernel = Kernel()
+    graph = nx.complete_graph(n + 1)
+    nx.set_edge_attributes(graph, 50.0, "latency_ms")
+    network = Network(kernel, graph)
+    rng = random.Random(seed)
+    principals = [make_principal(f"r{i}", rng, bits=256) for i in range(n)]
+    ring = InnerRing(kernel, network, list(range(n)), principals, m=m)
+    author = make_principal("author", rng, bits=256)
+    update = make_update(
+        author,
+        object_guid(author.public_key, "costmodel"),
+        [UpdateBranch(TruePredicate(), (AppendBlock(b"x" * update_size),))],
+        1.0,
+    )
+    ring.submit(n, update)
+    kernel.run(until=60_000.0)
+    return TrafficMeasurement(
+        m=m,
+        n=n,
+        update_size=update_size,
+        update_bytes=update.size_bytes(),
+        total_messages=network.stats_total_messages,
+        total_bytes=network.stats_total_bytes,
+        phase_report=network.phase_report(),
+    )
+
+
+def measure_sweep(
+    ms: tuple[int, ...] = (2, 3, 4),
+    update_size: int = 10_000,
+    seed: int = 0,
+) -> list[TrafficMeasurement]:
+    """One measurement per fault bound -- the fit needs >= 3 ring sizes."""
+    return [measure_update_traffic(m, update_size, seed=seed) for m in ms]
+
+
+__all__ = ["TrafficMeasurement", "measure_update_traffic", "measure_sweep"]

@@ -345,13 +345,19 @@ class PBFTReplica:
         if self.fault_mode is FaultMode.SILENT:
             return
         strategy = self.strategy
+        phase = _PHASE_BY_TYPE[type(payload)]
         sent = 0
         for other in self.ring.replicas:
             if other.index == self.index:
                 continue
             if strategy is None:
                 self.ring.network.send(
-                    self.network_id, other.network_id, payload, size
+                    self.network_id,
+                    other.network_id,
+                    payload,
+                    size,
+                    phase=phase,
+                    subsystem="pbft",
                 )
                 sent += 1
                 continue
@@ -359,24 +365,31 @@ class PBFTReplica:
                 self, other.index, payload
             ):
                 self._send_adversarial(
-                    other.network_id, wire_payload, size, delay_ms
+                    other.network_id, wire_payload, size, delay_ms, phase
                 )
                 sent += 1
         tel = self.ring.telemetry
         if tel.enabled and sent:
-            tel.count(
-                "pbft_messages_total", sent, phase=_PHASE_BY_TYPE[type(payload)]
-            )
+            tel.count("pbft_messages_total", sent, phase=phase)
 
     def _send_adversarial(
-        self, dst: NodeId, payload: object, size: int, delay_ms: float
+        self,
+        dst: NodeId,
+        payload: object,
+        size: int,
+        delay_ms: float,
+        phase: str,
     ) -> None:
         if delay_ms <= 0:
-            self.ring.network.send(self.network_id, dst, payload, size)
+            self.ring.network.send(
+                self.network_id, dst, payload, size, phase=phase, subsystem="pbft"
+            )
             return
         self.ring.kernel.call_after(
             delay_ms,
-            lambda: self.ring.network.send(self.network_id, dst, payload, size),
+            lambda: self.ring.network.send(
+                self.network_id, dst, payload, size, phase=phase, subsystem="pbft"
+            ),
             label=f"pbft.delayed_send[{self.index}]",
         )
 
@@ -460,6 +473,11 @@ class PBFTReplica:
         instance.prepares |= instance.early_prepares.pop(digest, set())
         instance.commits |= instance.early_commits.pop(digest, set())
         self.known_by_digest[digest] = update
+        tel = self.ring.telemetry
+        if tel.enabled:
+            tel.record(
+                "pbft", "pre_prepare", view=self.view, seq=seq, leader=self.index
+            )
         with self.ring.telemetry.span("pbft.pre_prepare", seq=seq, leader=self.index):
             self._broadcast(
                 PrePrepare(self.view, seq, digest), size=SMALL_MESSAGE_BYTES
@@ -536,6 +554,9 @@ class PBFTReplica:
             return
         if len(instance.prepares) >= self.ring.quorum and self.index not in instance.commits:
             instance.commits.add(self.index)
+            tel = self.ring.telemetry
+            if tel.enabled:
+                tel.record("pbft", "prepared", view=view, seq=seq, replica=self.index)
             self._broadcast(
                 CommitMsg(view, seq, instance.digest, self.index),
                 size=SMALL_MESSAGE_BYTES,
@@ -563,6 +584,9 @@ class PBFTReplica:
         if len(instance.prepares) < self.ring.quorum:
             return
         instance.committed = True
+        tel = self.ring.telemetry
+        if tel.enabled:
+            tel.record("pbft", "committed", view=view, seq=seq, replica=self.index)
         if instance.digest != NOOP_DIGEST:
             assert instance.update is not None
         self.execution_queue[seq] = (instance.digest, instance.update)
@@ -631,6 +655,7 @@ class PBFTReplica:
             tel = self.ring.telemetry
             if tel.enabled:
                 tel.count("pbft_certificates_total")
+                tel.record("pbft", "certified", seq=seq, replica=self.index)
             with tel.span("pbft.certify", seq=seq, replica=self.index):
                 self.ring._replica_certified(self, certificate)
 
@@ -729,6 +754,9 @@ class PBFTReplica:
         tel = self.ring.telemetry
         if tel.enabled:
             tel.count("pbft_view_changes_total", replica=self.index)
+            tel.record(
+                "pbft", "view_change", new_view=new_view, replica=self.index
+            )
         self._broadcast(
             ViewChangeMsg(new_view, self.index, reports),
             size=SMALL_MESSAGE_BYTES + 40 * len(reports),
@@ -755,6 +783,9 @@ class PBFTReplica:
         if self.view >= new_view:
             return
         self.view = new_view
+        tel = self.ring.telemetry
+        if tel.enabled:
+            tel.record("pbft", "new_view", view=new_view, leader=self.index)
         self._broadcast(NewViewMsg(new_view), size=SMALL_MESSAGE_BYTES)
 
         # 1. Preserve every prepared slot reported by the quorum, at its
@@ -839,6 +870,8 @@ class PBFTReplica:
             self.ring.replicas[msg.sender].network_id,
             BodyFetchResponse(update),
             size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+            phase="body_fetch",
+            subsystem="pbft",
         )
 
     # -- state transfer (laggard catch-up) ---------------------------------------------
@@ -905,6 +938,8 @@ class PBFTReplica:
             self.ring.replicas[msg.sender].network_id,
             CatchUpResponse(certificates, noop_seqs, self.index, tuple(claims)),
             size_bytes=size,
+            phase="catch_up",
+            subsystem="pbft",
         )
 
     def _on_catch_up_response(self, msg: CatchUpResponse) -> None:
@@ -1052,6 +1087,8 @@ class InnerRing:
                     replica.network_id,
                     ClientRequest(update),
                     size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+                    phase="request",
+                    subsystem="pbft",
                 )
         if tel.enabled:
             tel.count("pbft_messages_total", len(self.replicas), phase="request")

@@ -195,6 +195,8 @@ class SecondaryReplica:
                     payload.sender,
                     PullResponse(seq=payload.seq, update=update),
                     size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+                    phase="pull",
+                    subsystem="dissemination",
                 )
         elif isinstance(payload, PullResponse):
             if payload.update.object_guid == guid:
@@ -211,6 +213,8 @@ class SecondaryReplica:
                 request.sender,
                 TentativeGossip(updates=missing, sender=self.network_id),
                 size_bytes=sum(u.size_bytes() for u in missing) + SMALL_MESSAGE_BYTES,
+                phase="anti_entropy",
+                subsystem="dissemination",
             )
         # Committed catch-up: stream anything the requester lacks.
         for seq in sorted(self.committed_updates):
@@ -221,6 +225,8 @@ class SecondaryReplica:
                     request.sender,
                     CommittedPush(seq=seq, update=update),
                     size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+                    phase="anti_entropy",
+                    subsystem="dissemination",
                 )
 
     # -- initiating exchanges -----------------------------------------------------------
@@ -239,6 +245,8 @@ class SecondaryReplica:
             partner,
             request,
             size_bytes=SMALL_MESSAGE_BYTES + 8 * len(self.tentative),
+            phase="anti_entropy",
+            subsystem="dissemination",
         )
         if self.tentative:
             self.tier.network.send(
@@ -249,6 +257,8 @@ class SecondaryReplica:
                 ),
                 size_bytes=sum(u.size_bytes() for u in self.tentative.values())
                 + SMALL_MESSAGE_BYTES,
+                phase="anti_entropy",
+                subsystem="dissemination",
             )
 
     def pull_missing(self) -> None:
@@ -272,6 +282,8 @@ class SecondaryReplica:
                     sender=self.network_id,
                 ),
                 size_bytes=SMALL_MESSAGE_BYTES,
+                phase="pull",
+                subsystem="dissemination",
             )
 
 
@@ -319,6 +331,8 @@ class SecondaryTier:
                     payload.sender,
                     PullResponse(seq=payload.seq, update=update),
                     size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+                    phase="pull",
+                    subsystem="dissemination",
                 )
 
     def add_replica(self, network_id: NodeId, low_bandwidth: bool = False) -> SecondaryReplica:
@@ -354,6 +368,8 @@ class SecondaryTier:
                     target,
                     TentativeGossip(updates=(update,), sender=client_node),
                     size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+                    phase="tentative",
+                    subsystem="dissemination",
                 )
         if tel.enabled:
             tel.count("secondary_tentative_pushes_total", len(targets))

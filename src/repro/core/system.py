@@ -123,6 +123,16 @@ class OceanStoreSystem:
             # Callbacks scheduled while a span is active inherit it, so
             # one client update yields a single causal trace.
             self.kernel.trace_wrapper = self.telemetry.wrap
+            if (
+                self.telemetry.flight is not None
+                and self.config.telemetry.flight_kernel
+            ):
+                flight = self.telemetry.flight
+                self.kernel.event_hook = (
+                    lambda kind, time_ms, label: flight.record(
+                        "kernel", kind, at=time_ms, callback=label
+                    )
+                )
         self.graph = build_transit_stub_topology(
             self.config.topology, seeds.derive("topology")
         )
@@ -508,6 +518,14 @@ class OceanStoreSystem:
             return self._archival_refs[key]
         data = serialize_state(primary.active)
         tel = self.telemetry
+        if tel.enabled:
+            tel.record(
+                "archival",
+                "encode",
+                object=object_guid,
+                version=version,
+                bytes=len(data),
+            )
         with tel.span("archival.archive", version=version):
             archival = encode_archival(data, self.archival_code, telemetry=tel)
             owner = self.object_owners.get(object_guid)
@@ -550,6 +568,10 @@ class OceanStoreSystem:
                 f"version {version} of {object_guid} was never archived"
             )
         client = client_node if client_node is not None else self.ring_nodes[0]
+        if self.telemetry.enabled:
+            self.telemetry.record(
+                "archival", "restore", object=object_guid, version=version
+            )
         with self.telemetry.span("archival.restore", version=version):
             result = self.fetcher.fetch(
                 client,

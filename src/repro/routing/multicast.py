@@ -160,7 +160,14 @@ class MulticastService:
                     continue
                 seen.add(child)
                 hop = latency + network.latency_ms(node, child)
-                network.send(node, child, payload, size_bytes)
+                network.send(
+                    node,
+                    child,
+                    payload,
+                    size_bytes,
+                    phase="multicast",
+                    subsystem="routing",
+                )
                 messages += 1
                 if child in state.members:
                     delivered.append(child)

@@ -47,6 +47,12 @@ def _describe_event(event: _ScheduledEvent | None) -> str:
     return getattr(callback, "__qualname__", None) or repr(callback)
 
 
+def _callback_name(callback: Callable[[], None]) -> str:
+    """A deterministic name for a callback -- never ``repr``, whose
+    embedded address would break byte-identical flight-recorder replay."""
+    return getattr(callback, "__qualname__", None) or type(callback).__name__
+
+
 class EventHandle:
     """Handle to a scheduled event, allowing cancellation."""
 
@@ -92,6 +98,11 @@ class Kernel:
         self.trace_wrapper: Callable[
             [Callable[[], None]], Callable[[], None]
         ] | None = None
+        #: optional observer of scheduling activity (flight recorder);
+        #: signature: (kind, time_ms, label) with kind "schedule"|"fire".
+        #: Labels are captured before trace wrapping so they name the
+        #: real callback, deterministically.
+        self.event_hook: Callable[[str, float, str], None] | None = None
         #: max events per run() before SimulationError (None = unlimited)
         self.step_cap: int | None = None
         #: max real seconds per run() before SimulationError (None = unlimited)
@@ -124,10 +135,16 @@ class Kernel:
         """
         if time < self._now:
             raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        if self.event_hook is not None and label is None:
+            # Name the event now, while the callback is still unwrapped;
+            # the label also improves guard diagnostics for free.
+            label = _callback_name(callback)
         if self.trace_wrapper is not None:
             callback = self.trace_wrapper(callback)
         event = _ScheduledEvent(time, next(self._sequence), callback, label=label)
         heapq.heappush(self._queue, event)
+        if self.event_hook is not None:
+            self.event_hook("schedule", time, label or "<callable>")
         return EventHandle(event)
 
     def call_after(
@@ -180,6 +197,10 @@ class Kernel:
                 break
             heapq.heappop(self._queue)
             self._now = event.time
+            if self.event_hook is not None:
+                self.event_hook(
+                    "fire", event.time, event.label or "<callable>"
+                )
             event.callback()
             last_event = event
             executed += 1
@@ -194,6 +215,10 @@ class Kernel:
             if event.cancelled:
                 continue
             self._now = event.time
+            if self.event_hook is not None:
+                self.event_hook(
+                    "fire", event.time, event.label or "<callable>"
+                )
             event.callback()
             self._events_executed += 1
             return True

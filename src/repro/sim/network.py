@@ -60,6 +60,20 @@ class LinkStats:
 
 
 @dataclass
+class PhaseStats:
+    """Traffic attributed to one (subsystem, protocol phase) pair.
+
+    This is the measured counterpart of the paper's Figure 6 cost model
+    b = c1*n^2 + (u+c2)*n + c3: protocol layers tag each ``send`` with
+    the phase it belongs to, and the fit in
+    :mod:`repro.consistency.costmodel` consumes these totals.
+    """
+
+    messages: int = 0
+    bytes: int = 0
+
+
+@dataclass
 class TopologyParams:
     """Parameters for transit-stub topology generation."""
 
@@ -161,6 +175,9 @@ class Network:
         self.stats_total_bytes = 0
         self.stats_dropped = 0
         self.link_stats: dict[tuple[NodeId, NodeId], LinkStats] = {}
+        #: traffic by (subsystem, phase); untagged sends land in
+        #: ("other", "other").  Always on: two dict ops per send.
+        self.phase_stats: dict[tuple[str, str], PhaseStats] = {}
 
     # -- membership --------------------------------------------------------
 
@@ -266,11 +283,23 @@ class Network:
 
     # -- delivery ----------------------------------------------------------
 
-    def send(self, src: NodeId, dst: NodeId, payload: Any, size_bytes: int) -> None:
+    def send(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        payload: Any,
+        size_bytes: int,
+        phase: str | None = None,
+        subsystem: str | None = None,
+    ) -> None:
         """Send a message; delivery is scheduled on the kernel.
 
-        Loss conditions (either endpoint down, partition, unregistered
-        destination) count in ``stats_dropped`` and deliver nothing.
+        ``subsystem``/``phase`` attribute the traffic to a protocol phase
+        (``pbft``/``prepare``, ``dissemination``/``push``, ...) in
+        :attr:`phase_stats` -- the measured side of the Figure 6 cost
+        model.  Loss conditions (either endpoint down, partition,
+        unregistered destination) count in ``stats_dropped`` and deliver
+        nothing.
         """
         message = Message(src, dst, payload, size_bytes)
         self.stats_total_messages += 1
@@ -279,16 +308,36 @@ class Network:
         link = self.link_stats.setdefault(key, LinkStats())
         link.messages += 1
         link.bytes += size_bytes
+        sub = subsystem if subsystem is not None else "other"
+        ph = phase if phase is not None else "other"
+        phase_stats = self.phase_stats.get((sub, ph))
+        if phase_stats is None:
+            phase_stats = self.phase_stats[(sub, ph)] = PhaseStats()
+        phase_stats.messages += 1
+        phase_stats.bytes += size_bytes
 
         tel = self.telemetry
         instrumented = tel is not None and tel.enabled
         if instrumented:
             tel.count("net_messages_total", kind=type(payload).__name__)
             tel.observe("net_message_bytes", size_bytes)
+            tel.count("net_phase_messages_total", subsystem=sub, phase=ph)
+            tel.count("net_phase_bytes_total", size_bytes, subsystem=sub, phase=ph)
+            tel.record(
+                "net",
+                "send",
+                src=src,
+                dst=dst,
+                type=type(payload).__name__,
+                bytes=size_bytes,
+                subsystem=sub,
+                phase=ph,
+            )
         if src in self._down or dst in self._down or self._partitioned(src, dst):
             self.stats_dropped += 1
             if instrumented:
                 tel.count("net_dropped_total", reason="unreachable")
+                tel.record("net", "drop", src=src, dst=dst, reason="unreachable")
             return
         delay = self.latency_ms(src, dst) + self.PER_MESSAGE_OVERHEAD_MS
 
@@ -300,26 +349,52 @@ class Network:
                 self.stats_dropped += 1
                 if instrumented:
                     tel.count("net_dropped_total", reason="fault")
+                    tel.record("net", "drop", src=src, dst=dst, reason="fault")
                 return
             if decision.corrupt:
                 message = Message(src, dst, Corrupted(payload), size_bytes)
                 if instrumented:
                     tel.count("net_corrupted_total")
+                    tel.record("net", "corrupt", src=src, dst=dst)
             delay += decision.extra_delay_ms
             copies += decision.duplicates
+            if instrumented and decision.duplicates:
+                tel.record(
+                    "net", "duplicate", src=src, dst=dst, copies=decision.duplicates
+                )
+            if instrumented and decision.extra_delay_ms:
+                tel.record(
+                    "net", "delay", src=src, dst=dst, extra_ms=decision.extra_delay_ms
+                )
 
         def deliver() -> None:
             if dst in self._down or self._partitioned(src, dst):
                 self.stats_dropped += 1
                 if instrumented:
                     tel.count("net_dropped_total", reason="unreachable")
+                    tel.record(
+                        "net", "drop", src=src, dst=dst, reason="unreachable"
+                    )
                 return
             handlers = self._handlers.get(dst)
             if not handlers:
                 self.stats_dropped += 1
                 if instrumented:
                     tel.count("net_dropped_total", reason="unregistered")
+                    tel.record(
+                        "net", "drop", src=src, dst=dst, reason="unregistered"
+                    )
                 return
+            if instrumented:
+                tel.record(
+                    "net",
+                    "deliver",
+                    src=src,
+                    dst=dst,
+                    type=type(message.payload).__name__,
+                    subsystem=sub,
+                    phase=ph,
+                )
             for handler in list(handlers):
                 handler(message)
 
@@ -332,3 +407,28 @@ class Network:
             self.kernel.call_after(
                 delay + i * self.PER_MESSAGE_OVERHEAD_MS, deliver
             )
+
+    def phase_report(self) -> dict[str, dict[str, dict[str, int]]]:
+        """Per-(subsystem, phase) traffic as a JSON-able nested dict.
+
+        Shape: ``{subsystem: {phase: {"messages": m, "bytes": b}}}``,
+        keys sorted, so reports diff cleanly across runs.
+        """
+        report: dict[str, dict[str, dict[str, int]]] = {}
+        for (sub, ph) in sorted(self.phase_stats):
+            stats = self.phase_stats[(sub, ph)]
+            report.setdefault(sub, {})[ph] = {
+                "messages": stats.messages,
+                "bytes": stats.bytes,
+            }
+        return report
+
+    def phase_totals(self, subsystem: str) -> tuple[int, int]:
+        """(messages, bytes) summed over one subsystem's phases."""
+        messages = 0
+        total_bytes = 0
+        for (sub, _), stats in self.phase_stats.items():
+            if sub == subsystem:
+                messages += stats.messages
+                total_bytes += stats.bytes
+        return messages, total_bytes

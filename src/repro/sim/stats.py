@@ -102,6 +102,7 @@ class Distribution:
             "min": self.min,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
+            "p95": self.percentile(95),
             "p99": self.percentile(99),
             "max": self.max,
         }

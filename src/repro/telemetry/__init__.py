@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.telemetry.flightrec import FlightEvent, FlightRecorder
 from repro.telemetry.metrics import (
     OVERFLOW_KEY,
     MetricsRegistry,
@@ -51,8 +52,13 @@ class NullTelemetry:
     """
 
     enabled = False
+    #: no recorder when disabled (mirrors :attr:`Telemetry.flight`)
+    flight = None
 
     def count(self, name: str, value: float = 1, **labels: object) -> None:
+        return None
+
+    def record(self, category: str, kind: str, **detail: object) -> None:
         return None
 
     def gauge(self, name: str, value: float, **labels: object) -> None:
@@ -67,7 +73,7 @@ class NullTelemetry:
     def wrap(self, callback: Callable[[], None]) -> Callable[[], None]:
         return callback
 
-    def export(self, spans: bool = False) -> dict:
+    def export(self, spans: bool = False, flight: bool = False) -> dict:
         return {}
 
     def render_spans(self, max_depth: int | None = None) -> str:
@@ -97,12 +103,21 @@ class TelemetryConfig:
     max_label_sets: int = 64
     #: spans retained per run before new spans are dropped
     max_spans: int = 20_000
+    #: keep a flight recorder (bounded structured-event ring buffer)
+    flight: bool = True
+    #: flight-recorder ring size; old events evict past this
+    flight_capacity: int = 4096
+    #: also record kernel schedule/fire events (noisy: one event per
+    #: scheduled callback, so protocol events evict fast; opt-in)
+    flight_kernel: bool = False
 
     def __post_init__(self) -> None:
         if self.max_label_sets < 1:
             raise ValueError("max_label_sets must be >= 1")
         if self.max_spans < 0:
             raise ValueError("max_spans must be >= 0")
+        if self.flight_capacity < 1:
+            raise ValueError("flight_capacity must be >= 1")
 
 
 class Telemetry:
@@ -122,6 +137,11 @@ class Telemetry:
         self.config = config or TelemetryConfig(enabled=True)
         self.metrics = MetricsRegistry(max_label_sets=self.config.max_label_sets)
         self.tracer = Tracer(clock=clock, max_spans=self.config.max_spans)
+        self.flight: FlightRecorder | None = (
+            FlightRecorder(capacity=self.config.flight_capacity, clock=clock)
+            if self.config.flight
+            else None
+        )
 
     # -- metrics ----------------------------------------------------------
 
@@ -133,6 +153,14 @@ class Telemetry:
 
     def observe(self, name: str, value: float, **labels: object) -> None:
         self.metrics.observe(name, value, **labels)
+
+    # -- flight recorder --------------------------------------------------
+
+    def record(self, category: str, kind: str, **detail: object) -> None:
+        """Append one structured event to the flight recorder (if kept)."""
+        recorder = self.flight
+        if recorder is not None:
+            recorder.record(category, kind, **detail)
 
     # -- tracing ----------------------------------------------------------
 
@@ -149,12 +177,18 @@ class Telemetry:
 
     # -- export -----------------------------------------------------------
 
-    def export(self, spans: bool = False) -> dict:
+    def export(self, spans: bool = False, flight: bool = False) -> dict:
         """JSON-able snapshot; pass ``spans=True`` to include the trace
-        forest alongside the metric series."""
+        forest and ``flight=True`` the flight-recorder timeline."""
         out = self.metrics.export()
         if spans:
             out["spans"] = self.tracer.span_tree()
+        if flight and self.flight is not None:
+            out["flight"] = {
+                "total_recorded": self.flight.total_recorded,
+                "evicted": self.flight.evicted,
+                "events": self.flight.to_dicts(),
+            }
         return out
 
     def render_spans(self, max_depth: int | None = None) -> str:
@@ -163,6 +197,8 @@ class Telemetry:
     def reset(self) -> None:
         self.metrics.reset()
         self.tracer.reset()
+        if self.flight is not None:
+            self.flight.reset()
 
     @classmethod
     def from_config(
@@ -178,6 +214,8 @@ class Telemetry:
 
 __all__ = [
     "DISABLED",
+    "FlightEvent",
+    "FlightRecorder",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullTelemetry",

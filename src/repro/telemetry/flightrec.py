@@ -1,0 +1,194 @@
+"""Flight recorder: a bounded, deterministic ring buffer of structured events.
+
+Metrics (:mod:`repro.telemetry.metrics`) aggregate; spans
+(:mod:`repro.telemetry.tracing`) explain one operation's latency.  The
+flight recorder answers the third question a failing run poses: *what
+happened, in order, just before things went wrong?*  Components record
+structured events -- kernel schedule/fire, ``Network.send``/deliver with
+fault-schedule outcomes, PBFT phase transitions and view changes,
+dissemination pushes, archival encode/repair -- into one ring buffer
+whose capacity bounds memory, so it can stay on for an entire chaos run
+and still hold the causally ordered tail when an invariant breaks.
+
+Determinism is a hard requirement: every field of every event derives
+from simulated state (virtual clock, seeded RNG streams, qualified
+callback names -- never ``repr`` with object addresses), so two runs
+from the same master seed produce **byte-identical** dumps.  The chaos
+harness relies on this: a failure dump from CI replays locally, line for
+line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+
+def _fmt_value(value: object) -> str:
+    """Deterministic compact rendering of one detail value.
+
+    ``bytes`` become a short hex prefix (digests and GUID material are
+    long and the prefix is what humans compare); everything else renders
+    via ``str`` -- never ``repr`` of arbitrary objects, which leaks
+    memory addresses and breaks byte-identical replay.
+    """
+    if isinstance(value, bytes):
+        return value[:6].hex()
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+@dataclass(frozen=True, slots=True)
+class FlightEvent:
+    """One structured event: when, where in the system, and the details.
+
+    ``detail`` is a sorted tuple of ``(key, value)`` string pairs --
+    hashable, order-stable, and already rendered, so a retained event can
+    never mutate after the fact.
+    """
+
+    seq: int
+    time_ms: float
+    category: str
+    kind: str
+    detail: tuple[tuple[str, str], ...]
+
+    def render(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in self.detail)
+        line = f"{self.seq:>7} {self.time_ms:>12.1f}ms {self.category:<9} {self.kind:<14}"
+        return f"{line} {parts}".rstrip()
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "time_ms": self.time_ms,
+            "category": self.category,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+        }
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`FlightEvent`.
+
+    Old events evict silently once ``capacity`` is reached (the evicted
+    count is kept, so a dump states what it no longer holds).  Recording
+    is cheap -- one clock read, one tuple build, one deque append -- and
+    the disabled path lives one level up in
+    :class:`repro.telemetry.NullTelemetry`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self._events: deque[FlightEvent] = deque(maxlen=capacity)
+        #: events ever recorded (retained + evicted); also the next seq
+        self.total_recorded = 0
+
+    @property
+    def evicted(self) -> int:
+        """Events pushed out of the ring by newer ones."""
+        return self.total_recorded - len(self._events)
+
+    def record(self, category: str, kind: str, **detail: object) -> None:
+        event = FlightEvent(
+            seq=self.total_recorded,
+            time_ms=self.clock(),
+            category=category,
+            kind=kind,
+            detail=tuple(sorted((k, _fmt_value(v)) for k, v in detail.items())),
+        )
+        self.total_recorded += 1
+        self._events.append(event)
+
+    def reset(self) -> None:
+        self._events.clear()
+        self.total_recorded = 0
+
+    # -- reads -------------------------------------------------------------
+
+    def events(
+        self,
+        categories: Iterable[str] | None = None,
+        kinds: Iterable[str] | None = None,
+    ) -> list[FlightEvent]:
+        """Retained events in causal (record) order, optionally filtered."""
+        cats = set(categories) if categories is not None else None
+        knds = set(kinds) if kinds is not None else None
+        return [
+            e
+            for e in self._events
+            if (cats is None or e.category in cats)
+            and (knds is None or e.kind in knds)
+        ]
+
+    def to_dicts(
+        self, categories: Iterable[str] | None = None
+    ) -> list[dict]:
+        return [e.to_dict() for e in self.events(categories)]
+
+    def categories(self) -> dict[str, int]:
+        """Retained event count per category (dump header material)."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- dumps -------------------------------------------------------------
+
+    def render(
+        self,
+        categories: Iterable[str] | None = None,
+        limit: int | None = None,
+    ) -> str:
+        """Causally ordered text timeline.
+
+        ``limit`` keeps the last N matching events (the interesting tail
+        of a failure); a header line states what was filtered or evicted
+        so a truncated dump never masquerades as a complete one.
+        """
+        selected = self.events(categories)
+        shown = selected if limit is None or limit >= len(selected) else selected[-limit:]
+        header = (
+            f"flight recorder: {len(shown)} of {len(selected)} matching events"
+            f" ({self.total_recorded} recorded, {self.evicted} evicted)"
+        )
+        lines = [header]
+        if len(shown) < len(selected):
+            lines.append(f"... {len(selected) - len(shown)} earlier matching event(s) omitted")
+        lines.extend(event.render() for event in shown)
+        return "\n".join(lines)
+
+    def digest(self) -> str:
+        """sha256 over the full retained timeline; replay-comparison key."""
+        hasher = hashlib.sha256()
+        hasher.update(f"total={self.total_recorded};evicted={self.evicted}\n".encode())
+        for event in self._events:
+            hasher.update(event.render().encode())
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def dump_json(self, categories: Iterable[str] | None = None) -> str:
+        """Machine-readable dump (stable key order)."""
+        return json.dumps(
+            {
+                "total_recorded": self.total_recorded,
+                "evicted": self.evicted,
+                "events": self.to_dicts(categories),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+__all__ = ["FlightEvent", "FlightRecorder"]

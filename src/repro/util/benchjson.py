@@ -1,0 +1,170 @@
+"""Benchmark trajectory files: one JSON schema for every measurement.
+
+``benchmarks/results/*.json`` grew organically -- every bench invented
+its own shape, none carried a seed or a git revision, and nothing could
+diff two runs.  This module is the common envelope:
+
+* :func:`result_envelope` wraps one run's numbers with machine-readable
+  metadata (schema version, seed, fast/full mode, git revision, config);
+* ``BENCH_<name>.json`` files at the repo root are **trajectories** --
+  a bounded list of such envelopes appended run over run, so the
+  repository itself records how each metric moved across commits;
+* :func:`compare_metrics` is the CI regression gate: current metrics vs
+  the latest committed baseline, within per-metric tolerance bands.
+
+Only deterministic metrics (message counts, byte counts, simulated time,
+fitted coefficients) belong in ``metrics`` -- the gate compares them.
+Wall-clock timings go in ``timings`` and are informational: CI machines
+are too noisy to gate on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+from typing import Any, Mapping
+
+#: bump when the envelope shape changes incompatibly
+SCHEMA_VERSION = 1
+
+#: committed trajectory files keep this many most-recent runs
+MAX_RUNS = 20
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``unknown``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=pathlib.Path(__file__).parent,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def result_envelope(
+    name: str,
+    seed: int,
+    metrics: Mapping[str, float],
+    config: Mapping[str, Any] | None = None,
+    timings: Mapping[str, float] | None = None,
+    series: Any = None,
+    fast: bool = False,
+) -> dict:
+    """One run's results in the common schema.
+
+    ``metrics`` must be deterministic numbers (gated); ``timings`` are
+    wall-clock seconds (informational); ``series`` holds rich sweep data
+    for EXPERIMENTS.md-style reporting.
+    """
+    envelope = {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "meta": {
+            "seed": seed,
+            "fast": fast,
+            "git_rev": git_rev(),
+            "config": dict(config) if config is not None else {},
+        },
+        "metrics": {k: metrics[k] for k in sorted(metrics)},
+        "timings": (
+            {k: timings[k] for k in sorted(timings)} if timings else {}
+        ),
+    }
+    if series is not None:
+        envelope["series"] = series
+    return envelope
+
+
+def load_trajectory(path: str | pathlib.Path) -> dict:
+    """The trajectory at ``path``, or a fresh empty one."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return {"schema_version": SCHEMA_VERSION, "name": path.stem, "runs": []}
+    with open(path) as f:
+        trajectory = json.load(f)
+    if trajectory.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema version {trajectory.get('schema_version')!r}; "
+            f"this tool reads version {SCHEMA_VERSION}"
+        )
+    return trajectory
+
+
+def append_run(
+    path: str | pathlib.Path, envelope: dict, max_runs: int = MAX_RUNS
+) -> dict:
+    """Append one envelope to the trajectory at ``path`` and rewrite it.
+
+    Keeps the newest ``max_runs`` runs so committed files stay small.
+    Returns the written trajectory.
+    """
+    path = pathlib.Path(path)
+    trajectory = load_trajectory(path)
+    trajectory["name"] = envelope["name"]
+    trajectory["runs"] = (trajectory["runs"] + [envelope])[-max_runs:]
+    with open(path, "w") as f:
+        json.dump(trajectory, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return trajectory
+
+
+def latest_run(
+    trajectory: dict,
+    fast: bool | None = None,
+    seed: int | None = None,
+) -> dict | None:
+    """Newest run matching the given mode/seed (None matches anything)."""
+    for run in reversed(trajectory.get("runs", [])):
+        meta = run.get("meta", {})
+        if fast is not None and meta.get("fast") != fast:
+            continue
+        if seed is not None and meta.get("seed") != seed:
+            continue
+        return run
+    return None
+
+
+def compare_metrics(
+    baseline: Mapping[str, float],
+    current: Mapping[str, float],
+    tolerance: float = 0.05,
+) -> list[str]:
+    """Regressions of ``current`` against ``baseline``; empty means pass.
+
+    A metric fails when it moved more than ``tolerance`` (relative to
+    the baseline magnitude, floored at 1.0 so near-zero baselines do not
+    produce infinite sensitivity) or disappeared entirely.  New metrics
+    absent from the baseline pass -- they have nothing to regress from.
+    """
+    problems = []
+    for key in sorted(baseline):
+        base = baseline[key]
+        if key not in current:
+            problems.append(f"{key}: missing (baseline {base})")
+            continue
+        cur = current[key]
+        band = tolerance * max(abs(base), 1.0)
+        if abs(cur - base) > band:
+            problems.append(
+                f"{key}: {cur} vs baseline {base} "
+                f"(moved {cur - base:+g}, band +/-{band:g})"
+            )
+    return problems
+
+
+__all__ = [
+    "MAX_RUNS",
+    "SCHEMA_VERSION",
+    "append_run",
+    "compare_metrics",
+    "git_rev",
+    "latest_run",
+    "load_trajectory",
+    "result_envelope",
+]

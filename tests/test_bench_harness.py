@@ -1,0 +1,182 @@
+"""Benchmark observatory: envelope schema, trajectories, and the gate.
+
+Covers :mod:`repro.util.benchjson` (the shared result schema and the
+regression comparison CI leans on) and the cost-model fit that
+``BENCH_fig6_costmodel.json`` records: synthetic data generated from
+known coefficients must fit back to those coefficients.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.consistency import CostConstants, fit_cost_model, update_cost_bytes
+from repro.util.benchjson import (
+    SCHEMA_VERSION,
+    append_run,
+    compare_metrics,
+    latest_run,
+    load_trajectory,
+    result_envelope,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestEnvelope:
+    def test_envelope_carries_reproduction_metadata(self):
+        envelope = result_envelope(
+            name="demo",
+            seed=7,
+            metrics={"bytes": 100, "alpha": 1.5},
+            config={"n": 4},
+            timings={"wall_seconds": 0.25},
+            series=[1, 2, 3],
+            fast=True,
+        )
+        assert envelope["schema_version"] == SCHEMA_VERSION
+        assert envelope["meta"]["seed"] == 7
+        assert envelope["meta"]["fast"] is True
+        assert envelope["meta"]["config"] == {"n": 4}
+        assert envelope["meta"]["git_rev"]  # always some string
+        assert list(envelope["metrics"]) == ["alpha", "bytes"]  # sorted
+        assert envelope["series"] == [1, 2, 3]
+
+    def test_envelope_omits_empty_series(self):
+        envelope = result_envelope(name="demo", seed=0, metrics={})
+        assert "series" not in envelope
+
+
+class TestTrajectory:
+    def test_append_creates_and_grows(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        for i in range(3):
+            append_run(
+                path, result_envelope(name="demo", seed=0, metrics={"x": i})
+            )
+        trajectory = load_trajectory(path)
+        assert trajectory["name"] == "demo"
+        assert [run["metrics"]["x"] for run in trajectory["runs"]] == [0, 1, 2]
+
+    def test_append_caps_run_count(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        for i in range(7):
+            append_run(
+                path,
+                result_envelope(name="demo", seed=0, metrics={"x": i}),
+                max_runs=4,
+            )
+        runs = load_trajectory(path)["runs"]
+        assert [run["metrics"]["x"] for run in runs] == [3, 4, 5, 6]
+
+    def test_load_rejects_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps({"schema_version": 999, "runs": []}))
+        with pytest.raises(ValueError, match="schema version"):
+            load_trajectory(path)
+
+    def test_latest_run_filters_mode_and_seed(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        append_run(
+            path,
+            result_envelope(name="demo", seed=0, metrics={"x": 1}, fast=True),
+        )
+        append_run(
+            path,
+            result_envelope(name="demo", seed=0, metrics={"x": 2}, fast=False),
+        )
+        append_run(
+            path,
+            result_envelope(name="demo", seed=9, metrics={"x": 3}, fast=True),
+        )
+        trajectory = load_trajectory(path)
+        assert latest_run(trajectory, fast=True, seed=0)["metrics"]["x"] == 1
+        assert latest_run(trajectory, fast=False)["metrics"]["x"] == 2
+        assert latest_run(trajectory)["metrics"]["x"] == 3
+        assert latest_run(trajectory, fast=True, seed=5) is None
+
+
+class TestRegressionGate:
+    def test_within_band_passes(self):
+        assert compare_metrics({"bytes": 1000}, {"bytes": 1040}) == []
+
+    def test_beyond_band_fails_with_detail(self):
+        problems = compare_metrics({"bytes": 1000}, {"bytes": 1100})
+        assert len(problems) == 1
+        assert "bytes" in problems[0] and "1100" in problems[0]
+
+    def test_missing_metric_fails_but_new_metric_passes(self):
+        problems = compare_metrics({"a": 1, "b": 2}, {"a": 1, "c": 3})
+        assert problems == ["b: missing (baseline 2)"]
+
+    def test_near_zero_baseline_uses_absolute_floor(self):
+        # A 0 -> 0.04 move is within the 5% floor band, not an infinite
+        # relative regression.
+        assert compare_metrics({"x": 0.0}, {"x": 0.04}) == []
+        assert compare_metrics({"x": 0.0}, {"x": 0.2}) != []
+
+
+class TestCostModelFit:
+    def test_recovers_known_coefficients_from_synthetic_data(self):
+        constants = CostConstants(c1=120.0, c2=90.0, c3=250.0)
+        points = [
+            (n, float(u), update_cost_bytes(float(u), n, constants))
+            for n in (7, 10, 13, 16)
+            for u in (1_000, 10_000, 100_000)
+        ]
+        fit = fit_cost_model(points)
+        assert fit.c1 == pytest.approx(120.0, abs=1e-6)
+        assert fit.c2 == pytest.approx(90.0, abs=1e-6)
+        assert fit.c3 == pytest.approx(250.0, abs=1e-4)
+        assert fit.max_rel_error < 1e-9
+        assert fit.quadratic_ok
+
+    def test_flags_non_quadratic_traffic(self):
+        # Purely linear traffic: the n^2 coefficient fits to ~0 or below
+        # and the deviation flag must trip via c1 <= 0.
+        points = [
+            (n, 1_000.0, 1_000.0 * n + 500.0 * n) for n in (7, 10, 13)
+        ]
+        fit = fit_cost_model(points)
+        assert not fit.quadratic_ok or fit.c1 < 1.0
+
+    def test_requires_three_ring_sizes(self):
+        with pytest.raises(ValueError, match="3 distinct ring sizes"):
+            fit_cost_model([(7, 1.0, 10.0), (7, 2.0, 20.0), (10, 1.0, 15.0)])
+
+    def test_quadratic_share_grows_with_n(self):
+        constants = CostConstants()
+        points = [
+            (n, 10_000.0, update_cost_bytes(10_000.0, n, constants))
+            for n in (7, 10, 13)
+        ]
+        fit = fit_cost_model(points)
+        assert fit.quadratic_share(13, 10_000.0) > fit.quadratic_share(
+            7, 10_000.0
+        )
+
+
+class TestCommittedTrajectories:
+    """The repo-root BENCH_*.json files CI gates against."""
+
+    @pytest.mark.parametrize(
+        "name", ["fig6_costmodel", "update_path", "read_path", "archival"]
+    )
+    def test_trajectory_exists_and_validates(self, name):
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        assert path.exists(), f"committed trajectory {path.name} missing"
+        trajectory = load_trajectory(path)
+        assert trajectory["runs"], "trajectory must hold at least one run"
+        baseline = latest_run(trajectory, fast=True, seed=0)
+        assert baseline is not None, "CI gates on a fast-mode seed-0 run"
+        assert baseline["metrics"], "baseline must carry gated metrics"
+
+    def test_fig6_trajectory_reports_fitted_quadratic_coefficient(self):
+        trajectory = load_trajectory(REPO_ROOT / "BENCH_fig6_costmodel.json")
+        baseline = latest_run(trajectory, fast=True, seed=0)
+        assert "c1" in baseline["metrics"]
+        assert baseline["metrics"]["c1"] > 0
+        assert baseline["metrics"]["quadratic_ok"] == 1

@@ -124,6 +124,52 @@ def bench_fig6_costmodel(seed: int, fast: bool) -> BenchResult:
     )
 
 
+@bench("batched_update_path")
+def bench_batched_update_path(seed: int, fast: bool) -> BenchResult:
+    """Batched agreement rounds: measured c1*n^2 amortization."""
+    updates = 8
+    batch_sizes = (1, 8) if fast else (1, 2, 4, 8)
+    ms = (2,) if fast else (2, 3, 4)
+    metrics: dict[str, float] = {"updates": updates}
+    series: dict[str, object] = {}
+    fits: dict[int, object] = {}
+    for batch in batch_sizes:
+        sweep = [
+            measure_update_traffic(
+                m, 10_000, seed=seed, updates=updates, batch_size=batch
+            )
+            for m in ms
+        ]
+        for t in sweep:
+            metrics[f"per_update_bytes_b{batch}_n{t.n}"] = round(
+                t.per_update_bytes, 1
+            )
+            metrics[f"messages_b{batch}_n{t.n}"] = t.total_messages
+        series[f"batch_{batch}"] = [t.to_dict() for t in sweep]
+        if len(ms) >= 3:
+            fit = fit_cost_model(
+                [(t.n, t.update_bytes, t.per_update_bytes) for t in sweep]
+            )
+            fits[batch] = fit
+            metrics[f"c1_b{batch}"] = round(fit.c1, 3)
+            metrics[f"quadratic_ok_b{batch}"] = int(fit.quadratic_ok)
+    if 1 in fits and 8 in fits and fits[1].c1:
+        # The headline number: per-update quadratic cost with 8-update
+        # batches as a fraction of the unbatched fit (ideal: 0.125).
+        metrics["c1_amortization_b8"] = round(fits[8].c1 / fits[1].c1, 4)
+        series["fits"] = {str(b): fits[b].to_dict() for b in fits}
+    return BenchResult(
+        metrics,
+        config={
+            "updates": updates,
+            "batch_sizes": list(batch_sizes),
+            "ms": list(ms),
+            "update_size": 10_000,
+        },
+        series=series,
+    )
+
+
 @bench("update_path")
 def bench_update_path(seed: int, fast: bool) -> BenchResult:
     """Full-system writes: the Figure 5 path end to end."""

@@ -184,6 +184,9 @@ def _standard_system(ctx: ChaosContext, **overrides) -> OceanStoreSystem:
         archival_n=8,
         telemetry=TelemetryConfig(enabled=True),
         chaos=ctx.chaos,
+        batch_size=ctx.chaos.batch_size,
+        batch_delay_ms=ctx.chaos.batch_delay_ms,
+        pipeline_depth=ctx.chaos.pipeline_depth,
     )
     params.update(overrides)
     system = OceanStoreSystem(DeploymentConfig(**params))
@@ -357,6 +360,9 @@ def _pbft_quorum_violation(ctx: ChaosContext) -> None:
         m=m,
         telemetry=telemetry,
         allow_unsafe_size=True,
+        batch_size=ctx.chaos.batch_size,
+        batch_delay_ms=ctx.chaos.batch_delay_ms,
+        pipeline_depth=ctx.chaos.pipeline_depth,
     )
     ctx.attach_ring(kernel, ring, telemetry)
     ctx.event(f"undersized ring up: n={n} for m={m} (needs {3 * m + 1})")

@@ -77,15 +77,24 @@ class ClientRequest:
 class PrePrepare:
     """Leader's ordering proposal.
 
-    Carries only the digest: clients send the full update to every
-    replica directly (Figure 5a), so re-shipping the body would double
-    the large-update bandwidth floor -- the Figure 6 equation's
-    (u+c2)*n term counts the body crossing the network once per replica.
+    Carries only digests: clients send the full update to every replica
+    directly (Figure 5a), so re-shipping the body would double the
+    large-update bandwidth floor -- the Figure 6 equation's (u+c2)*n
+    term counts the body crossing the network once per replica.
+
+    ``batch`` is the Castro-Liskov batching extension: an ordered tuple
+    of member update digests sharing this agreement slot.  Empty means a
+    classic single-update slot whose ``digest`` is the update digest
+    itself (wire-identical to the unbatched protocol); non-empty means
+    ``digest`` commits to the whole ordered membership via
+    :func:`batch_digest`, so prepare/commit votes bind the composition,
+    not just an opaque label.
     """
 
     view: int
     seq: int
     digest: bytes
+    batch: tuple[bytes, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -159,17 +168,37 @@ class BodyFetchResponse:
 
 
 @dataclass(frozen=True, slots=True)
+class BatchBodyFetchResponse:
+    """Body-fetch answer for a *batched* slot.
+
+    Carries the ordered member bodies plus the slot digest they hash to,
+    so the requester learns both the missing bodies and the composition
+    (which it may never have seen if the batch pre-prepare was lost).
+    """
+
+    digest: bytes
+    updates: tuple[Update, ...]
+
+
+@dataclass(frozen=True, slots=True)
 class CommitCertificate:
-    """Proof that the primary tier serialized ``update`` at slot ``seq``.
+    """Proof that the primary tier serialized ``updates`` at slot ``seq``.
 
     Verifiable offline: check 2m+1 distinct valid signatures over
-    (seq, digest) against the ring's known replica keys.
+    (seq, digest) against the ring's known replica keys.  A batched slot
+    carries its whole ordered membership; ``digest`` recomputes from the
+    member digests, so a helper cannot splice bodies into a certificate.
     """
 
     seq: int
     digest: bytes
-    update: Update
+    updates: tuple[Update, ...]
     signatures: tuple[tuple[int, bytes], ...]
+
+    @property
+    def update(self) -> Update:
+        """The sole member of a single-update slot (legacy accessor)."""
+        return self.updates[0]
 
     @staticmethod
     def signed_payload(seq: int, digest: bytes) -> bytes:
@@ -213,13 +242,19 @@ class ExecutedClaim:
     m+1 *distinct* replicas have validly signed (seq, digest): at least
     one signer is honest, and honest replicas sign only after a commit
     quorum, so no conflicting digest can gather m+1 honest-backed
-    signatures at the same slot.
+    signatures at the same slot.  Batched slots claim their whole
+    ordered membership, validated against the digest like certificates.
     """
 
     seq: int
     digest: bytes
-    update: Update
+    updates: tuple[Update, ...]
     signatures: tuple[tuple[int, bytes], ...]
+
+    @property
+    def update(self) -> Update:
+        """The sole member of a single-update slot (legacy accessor)."""
+        return self.updates[0]
 
 
 @dataclass(frozen=True, slots=True)
@@ -244,6 +279,23 @@ def update_digest(update: Update) -> bytes:
     return sha256(update.signed_bytes())
 
 
+def batch_digest(member_digests: tuple[bytes, ...]) -> bytes:
+    """Slot digest of a multi-update batch: binds order and membership."""
+    return sha256(b"pbft-batch" + b"".join(member_digests))
+
+
+def slot_digest_for(updates: tuple[Update, ...]) -> bytes:
+    """The digest a slot carrying ``updates`` must advertise.
+
+    Single-member slots keep the raw update digest (wire-compatible with
+    the unbatched protocol); larger slots hash the ordered membership.
+    """
+    digests = tuple(update_digest(u) for u in updates)
+    if len(digests) == 1:
+        return digests[0]
+    return batch_digest(digests)
+
+
 #: Digest of the null request used to fill sequence gaps after a view
 #: change (PBFT's no-op padding, so in-order execution never deadlocks
 #: behind a slot nobody can complete).
@@ -261,6 +313,7 @@ _PHASE_BY_TYPE: dict[type, str] = {
     NewViewMsg: "new_view",
     BodyFetchRequest: "body_fetch",
     BodyFetchResponse: "body_fetch",
+    BatchBodyFetchResponse: "body_fetch",
     CatchUpRequest: "catch_up",
     CatchUpResponse: "catch_up",
 }
@@ -279,7 +332,12 @@ class _Instance:
     """
 
     digest: bytes | None = None
-    update: Update | None = None
+    #: ordered member bodies (None for a noop slot); a single-update
+    #: slot is a one-element tuple
+    updates: tuple[Update, ...] | None = None
+    #: member update digests, () for noop slots; used to answer "is this
+    #: request already riding some slot?" without rehashing bodies
+    members: tuple[bytes, ...] = ()
     prepares: set[int] = field(default_factory=set)
     commits: set[int] = field(default_factory=set)
     committed: bool = False
@@ -313,11 +371,19 @@ class PBFTReplica:
         #: seq -> digest actually executed there (agreement-safety audit)
         self.executed_by_seq: dict[int, bytes] = {}
         self.last_executed_seq = -1
-        self.execution_queue: dict[int, tuple[bytes, Update]] = {}
+        self.execution_queue: dict[int, tuple[bytes, tuple[Update, ...] | None]] = {}
         self.known_requests: dict[bytes, Update] = {}
         self.known_by_digest: dict[bytes, Update] = {}
-        #: pre-prepares that arrived before their client request
+        #: batch slot digest -> ordered member digests (composition of
+        #: every batched slot this replica has seen proposed or proven)
+        self.known_batches: dict[bytes, tuple[bytes, ...]] = {}
+        #: pre-prepares that arrived before their client request(s),
+        #: keyed by slot digest; batch slots wait for *all* member bodies
         self._deferred_pre_prepares: dict[bytes, PrePrepare] = {}
+        #: leader-side batch buffer (requests waiting to be proposed)
+        self._batch_queue: list[Update] = []
+        self._queued_digests: set[bytes] = set()
+        self._batch_timer: object | None = None
         self.sign_shares: dict[int, dict[int, bytes]] = {}
         self.certified_seqs: set[int] = set()
         #: seq -> assembled certificate, served to lagging peers
@@ -417,6 +483,8 @@ class PBFTReplica:
             self._on_body_fetch(payload)
         elif isinstance(payload, BodyFetchResponse):
             self._on_request(payload.update)
+        elif isinstance(payload, BatchBodyFetchResponse):
+            self._on_batch_body_fetch_response(payload)
         elif isinstance(payload, CatchUpRequest):
             self._on_catch_up_request(payload)
         elif isinstance(payload, CatchUpResponse):
@@ -446,41 +514,192 @@ class PBFTReplica:
             if reserved is not None:
                 # A view change reserved this slot for the digest; now
                 # that the body is here, fill it at its original number.
-                self._propose_at(reserved, update)
-            elif not self._already_in_flight(digest):
-                self._propose(update)
+                self._propose_batch_at(reserved, (update,))
+            elif (
+                not self._already_in_flight(digest)
+                and digest not in self._queued_digests
+                and not self._member_of_awaiting_batch(digest)
+            ):
+                self._enqueue_update(update)
         else:
             if deferred is not None:
                 self._on_pre_prepare(deferred)
+        # A newly-known body may complete a *batched* slot that is held
+        # back on other digests: retry deferred batch pre-prepares and
+        # (as leader) batch slots reserved by a view change.
+        self._retry_deferred_batches()
+        self._retry_awaiting_batches()
 
     def _already_in_flight(self, digest: bytes) -> bool:
-        """True if some slot already carries this request (client retry)."""
+        """True if some slot already carries this request (client retry),
+        either as the whole slot or as one member of a batch."""
         return any(
-            instance.digest == digest for instance in self.instances.values()
+            instance.digest == digest or digest in instance.members
+            for instance in self.instances.values()
         )
 
-    def _propose(self, update: Update) -> None:
-        seq = self.next_seq
-        self.next_seq += 1
-        self._propose_at(seq, update)
+    # -- leader-side batching ----------------------------------------------------
+
+    def _in_flight_slots(self) -> int:
+        """Slots this leader has proposed but not yet executed."""
+        return self.next_seq - self.last_executed_seq - 1
+
+    def _enqueue_update(self, update: Update) -> None:
+        self._batch_queue.append(update)
+        self._queued_digests.add(update_digest(update))
+        self._maybe_flush_batch()
+
+    def _maybe_flush_batch(self, force: bool = False) -> None:
+        """Propose queued requests as batch slots.
+
+        A batch seals when ``batch_size`` requests are waiting, when the
+        ``batch_delay_ms`` timer expires on a partial batch (``force``),
+        or immediately when no delay is configured.  The pipeline window
+        bounds proposed-but-unexecuted slots: a closed window leaves the
+        queue intact and :meth:`_execute_ready` drains it as rounds
+        complete -- pipelining without unbounded in-flight state.
+        """
+        ring = self.ring
+        if not self.is_leader:
+            self._reset_batch_queue()
+            return
+        while self._batch_queue:
+            if ring.pipeline_depth and self._in_flight_slots() >= ring.pipeline_depth:
+                return  # window closed; execution reopens it
+            if (
+                not force
+                and len(self._batch_queue) < ring.batch_size
+                and ring.batch_delay_ms > 0
+            ):
+                self._arm_batch_timer()
+                return
+            members = tuple(self._batch_queue[: ring.batch_size])
+            del self._batch_queue[: ring.batch_size]
+            for member in members:
+                self._queued_digests.discard(update_digest(member))
+            seq = self.next_seq
+            self.next_seq += 1
+            self._propose_batch_at(seq, members)
+        self._cancel_batch_timer()
+
+    def _arm_batch_timer(self) -> None:
+        if self._batch_timer is not None:
+            return
+
+        def flush() -> None:
+            self._batch_timer = None
+            self._maybe_flush_batch(force=True)
+
+        self._batch_timer = self.ring.kernel.call_after(
+            self.ring.batch_delay_ms, flush, label=f"pbft.batch_flush[{self.index}]"
+        )
+
+    def _cancel_batch_timer(self) -> None:
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+
+    def _reset_batch_queue(self) -> None:
+        """Drop the buffer (view change / leadership loss).  The bodies
+        stay in ``known_requests``; the new leader's gap-fill step or a
+        client retry re-proposes them."""
+        self._batch_queue.clear()
+        self._queued_digests.clear()
+        self._cancel_batch_timer()
+
+    def _updates_for_digest(self, digest: bytes) -> tuple[Update, ...] | None:
+        """Resolve a slot digest to its ordered member bodies, if all
+        are locally known; None while any body (or a batch's
+        composition) is missing."""
+        update = self.known_by_digest.get(digest)
+        if update is not None:
+            return (update,)
+        members = self.known_batches.get(digest)
+        if members is not None and all(d in self.known_by_digest for d in members):
+            return tuple(self.known_by_digest[d] for d in members)
+        return None
+
+    def _register_slot_bodies(
+        self, slot_digest: bytes, updates: tuple[Update, ...]
+    ) -> None:
+        """Learn a proven slot's bodies (and composition, if batched)."""
+        digests = tuple(update_digest(u) for u in updates)
+        for member_digest, update in zip(digests, updates):
+            self.known_requests[update.update_id] = update
+            self.known_by_digest[member_digest] = update
+        if len(updates) > 1:
+            self.known_batches[slot_digest] = digests
+
+    def _member_of_awaiting_batch(self, digest: bytes) -> bool:
+        """True if this request digest belongs to a batch slot reserved
+        by a view change -- the reservation, not a fresh slot, must
+        carry it once the remaining members arrive."""
+        for slot_digest in self._awaiting_body:
+            members = self.known_batches.get(slot_digest)
+            if members is not None and digest in members:
+                return True
+        return False
+
+    def _retry_deferred_batches(self) -> None:
+        ready = [
+            slot_digest
+            for slot_digest, msg in self._deferred_pre_prepares.items()
+            if msg.batch and all(d in self.known_by_digest for d in msg.batch)
+        ]
+        for slot_digest in ready:
+            self._on_pre_prepare(self._deferred_pre_prepares.pop(slot_digest))
+
+    def _retry_awaiting_batches(self) -> None:
+        if not self._awaiting_body or not self.is_leader:
+            return
+        for slot_digest, seq in list(self._awaiting_body.items()):
+            if slot_digest not in self.known_batches:
+                continue
+            updates = self._updates_for_digest(slot_digest)
+            if updates is not None:
+                del self._awaiting_body[slot_digest]
+                self._propose_batch_at(seq, updates)
 
     def _propose_at(self, seq: int, update: Update) -> None:
-        digest = update_digest(update)
+        self._propose_batch_at(seq, (update,))
+
+    def _propose_batch_at(self, seq: int, updates: tuple[Update, ...]) -> None:
+        digests = tuple(update_digest(u) for u in updates)
+        if len(digests) == 1:
+            slot_digest: bytes = digests[0]
+            batch: tuple[bytes, ...] = ()
+        else:
+            slot_digest = batch_digest(digests)
+            batch = digests
+            self.known_batches[slot_digest] = digests
         instance = self._instance(self.view, seq)
-        instance.digest = digest
-        instance.update = update
+        instance.digest = slot_digest
+        instance.updates = updates
+        instance.members = digests
         instance.prepares.add(self.index)
-        instance.prepares |= instance.early_prepares.pop(digest, set())
-        instance.commits |= instance.early_commits.pop(digest, set())
-        self.known_by_digest[digest] = update
+        instance.prepares |= instance.early_prepares.pop(slot_digest, set())
+        instance.commits |= instance.early_commits.pop(slot_digest, set())
+        for member_digest, update in zip(digests, updates):
+            self.known_by_digest[member_digest] = update
         tel = self.ring.telemetry
         if tel.enabled:
             tel.record(
                 "pbft", "pre_prepare", view=self.view, seq=seq, leader=self.index
             )
+            if self.ring.batching_enabled:
+                # Batch boundary marker: which updates share this round.
+                tel.record(
+                    "pbft",
+                    "batch_seal",
+                    view=self.view,
+                    seq=seq,
+                    size=len(updates),
+                    members=",".join(u.update_id[:4].hex() for u in updates),
+                )
+        size = SMALL_MESSAGE_BYTES + 32 * len(batch)
         with self.ring.telemetry.span("pbft.pre_prepare", seq=seq, leader=self.index):
             self._broadcast(
-                PrePrepare(self.view, seq, digest), size=SMALL_MESSAGE_BYTES
+                PrePrepare(self.view, seq, slot_digest, batch), size=size
             )
         self._maybe_prepared(self.view, seq)
 
@@ -488,7 +707,8 @@ class PBFTReplica:
         """Fill a sequence gap with a null request (view-change padding)."""
         instance = self._instance(self.view, seq)
         instance.digest = NOOP_DIGEST
-        instance.update = None
+        instance.updates = None
+        instance.members = ()
         instance.prepares.add(self.index)
         instance.prepares |= instance.early_prepares.pop(NOOP_DIGEST, set())
         instance.commits |= instance.early_commits.pop(NOOP_DIGEST, set())
@@ -500,8 +720,22 @@ class PBFTReplica:
     def _on_pre_prepare(self, msg: PrePrepare) -> None:
         if msg.view != self.view:
             return
+        updates: tuple[Update, ...] | None
         if msg.digest == NOOP_DIGEST:
-            update = None
+            updates = None
+        elif msg.batch:
+            if batch_digest(msg.batch) != msg.digest:
+                return  # membership does not hash to the slot digest
+            # Record the composition even while bodies are missing: the
+            # view-change and body-fetch paths need to know which member
+            # digests a reserved batch slot stands for.
+            self.known_batches[msg.digest] = msg.batch
+            if any(d not in self.known_by_digest for d in msg.batch):
+                # Some member bodies have not arrived yet; hold the
+                # proposal until the client copies (or fetches) land.
+                self._deferred_pre_prepares[msg.digest] = msg
+                return
+            updates = tuple(self.known_by_digest[d] for d in msg.batch)
         else:
             update = self.known_by_digest.get(msg.digest)
             if update is None:
@@ -509,21 +743,26 @@ class PBFTReplica:
                 # hold the proposal until it does.
                 self._deferred_pre_prepares[msg.digest] = msg
                 return
+            updates = (update,)
         instance = self._instance(msg.view, msg.seq)
         if instance.digest is not None and instance.digest != msg.digest:
             return  # conflicting pre-prepare for the slot
         instance.digest = msg.digest
-        instance.update = update
-        if (
-            update is not None
-            and update.update_id not in self.executed_updates
-            and update.update_id not in self._pending_timeouts
-        ):
-            # The client's own broadcast may never arrive (lossy links),
-            # making this pre-prepare the replica's only sight of the
-            # request -- it must still drive catch-up / view change if
-            # the slot stalls, so the progress timer arms here too.
-            self._arm_view_change_timer(update)
+        instance.updates = updates
+        instance.members = msg.batch if msg.batch else (
+            () if updates is None else (msg.digest,)
+        )
+        for update in updates or ():
+            if (
+                update.update_id not in self.executed_updates
+                and update.update_id not in self._pending_timeouts
+            ):
+                # The client's own broadcast may never arrive (lossy
+                # links), making this pre-prepare the replica's only
+                # sight of the request -- it must still drive catch-up /
+                # view change if the slot stalls, so the progress timer
+                # arms here too.
+                self._arm_view_change_timer(update)
         instance.prepares.add(self.ring.leader_index(msg.view))
         instance.prepares.add(self.index)
         instance.prepares |= instance.early_prepares.pop(msg.digest, set())
@@ -588,37 +827,48 @@ class PBFTReplica:
         if tel.enabled:
             tel.record("pbft", "committed", view=view, seq=seq, replica=self.index)
         if instance.digest != NOOP_DIGEST:
-            assert instance.update is not None
-        self.execution_queue[seq] = (instance.digest, instance.update)
+            assert instance.updates is not None
+        self.execution_queue[seq] = (instance.digest, instance.updates)
         self._execute_ready()
 
     def _execute_ready(self) -> None:
         while self.last_executed_seq + 1 in self.execution_queue:
             seq = self.last_executed_seq + 1
-            digest, update = self.execution_queue.pop(seq)
+            digest, updates = self.execution_queue.pop(seq)
             self.last_executed_seq = seq
             self.executed_by_seq[seq] = digest
-            if update is None:
+            if updates is None:
                 continue  # no-op gap filler from a view change
-            if update.update_id in self.executed_updates:
-                continue
-            self.executed_updates.add(update.update_id)
-            self._cancel_view_change_timer(update.update_id)
-            with self.ring.telemetry.span(
-                "pbft.execute", seq=seq, replica=self.index
-            ):
-                self.ring._replica_executed(self, seq, update)
-                share = SignShare(
-                    seq=seq,
-                    digest=digest,
-                    sender=self.index,
-                    signature=self.principal.sign(
-                        CommitCertificate.signed_payload(seq, digest)
-                    ),
-                )
-                self.sign_shares.setdefault(seq, {})[self.index] = share.signature
-                self._broadcast(share, size=SMALL_MESSAGE_BYTES)
-                self._maybe_certified(seq, digest, update)
+            executed_any = False
+            for update in updates:
+                if update.update_id in self.executed_updates:
+                    continue  # client retry already executed elsewhere
+                self.executed_updates.add(update.update_id)
+                self._cancel_view_change_timer(update.update_id)
+                with self.ring.telemetry.span(
+                    "pbft.execute", seq=seq, replica=self.index
+                ):
+                    self.ring._replica_executed(self, seq, update)
+                executed_any = True
+            if not executed_any:
+                continue  # every member was a dup; nothing to attest
+            # One signature attests the whole batch: the (seq, digest)
+            # payload commits to the ordered membership, so the batched
+            # sign-share phase stays one n^2 round per *slot*.
+            share = SignShare(
+                seq=seq,
+                digest=digest,
+                sender=self.index,
+                signature=self.principal.sign(
+                    CommitCertificate.signed_payload(seq, digest)
+                ),
+            )
+            self.sign_shares.setdefault(seq, {})[self.index] = share.signature
+            self._broadcast(share, size=SMALL_MESSAGE_BYTES)
+            self._maybe_certified(seq, digest, updates)
+        # Execution reopened the pipeline window; drain waiting requests.
+        if self._batch_queue:
+            self._maybe_flush_batch()
 
     def _on_sign_share(self, msg: SignShare) -> None:
         payload = CommitCertificate.signed_payload(msg.seq, msg.digest)
@@ -636,10 +886,12 @@ class PBFTReplica:
         )
         if instance_key is not None:
             inst = self.instances[instance_key]
-            assert inst.update is not None
-            self._maybe_certified(msg.seq, msg.digest, inst.update)
+            assert inst.updates is not None
+            self._maybe_certified(msg.seq, msg.digest, inst.updates)
 
-    def _maybe_certified(self, seq: int, digest: bytes, update: Update) -> None:
+    def _maybe_certified(
+        self, seq: int, digest: bytes, updates: tuple[Update, ...]
+    ) -> None:
         if seq in self.certified_seqs:
             return
         shares = self.sign_shares.get(seq, {})
@@ -648,7 +900,7 @@ class PBFTReplica:
             certificate = CommitCertificate(
                 seq=seq,
                 digest=digest,
-                update=update,
+                updates=updates,
                 signatures=tuple(sorted(shares.items())),
             )
             self.certificates[seq] = certificate
@@ -783,6 +1035,7 @@ class PBFTReplica:
         if self.view >= new_view:
             return
         self.view = new_view
+        self._reset_batch_queue()
         tel = self.ring.telemetry
         if tel.enabled:
             tel.record("pbft", "new_view", view=new_view, leader=self.index)
@@ -797,10 +1050,10 @@ class PBFTReplica:
             for report in reports:
                 if report.seq in self.executed_by_seq:
                     continue
-                # Prefer a digest whose update body we actually hold.
+                # Prefer a digest whose update bodies we actually hold.
                 if (
                     report.seq not in preserved
-                    or preserved[report.seq] not in self.known_by_digest
+                    or self._updates_for_digest(preserved[report.seq]) is None
                 ):
                     preserved[report.seq] = report.digest
         proposed_digests: set[bytes] = set()
@@ -811,13 +1064,13 @@ class PBFTReplica:
                 self._propose_noop_at(seq)
                 used_seqs.add(seq)
                 continue
-            update = self.known_by_digest.get(preserved[seq])
-            if update is None:
-                # The digest is committed to this slot but the body was
-                # lost en route here.  Reserve the number (padding must
-                # NOT reuse it -- that re-executes the slot divergently)
-                # and fetch the body from peers; the client's retry also
-                # satisfies the reservation.
+            updates = self._updates_for_digest(preserved[seq])
+            if updates is None:
+                # The digest is committed to this slot but a body (or a
+                # batch's composition) was lost en route here.  Reserve
+                # the number (padding must NOT reuse it -- that
+                # re-executes the slot divergently) and fetch from
+                # peers; client retries also satisfy the reservation.
                 self._awaiting_body[preserved[seq]] = seq
                 used_seqs.add(seq)
                 self._broadcast(
@@ -825,9 +1078,17 @@ class PBFTReplica:
                     size=SMALL_MESSAGE_BYTES,
                 )
                 continue
-            self._propose_at(seq, update)
+            self._propose_batch_at(seq, updates)
             proposed_digests.add(preserved[seq])
+            proposed_digests.update(update_digest(u) for u in updates)
             used_seqs.add(seq)
+        # Members of reserved batch slots with known composition must not
+        # be re-proposed as fresh singles below -- the reservation owns
+        # them (executing them twice is safe but wasteful).
+        for slot_digest in self._awaiting_body:
+            members = self.known_batches.get(slot_digest)
+            if members is not None:
+                proposed_digests.update(members)
 
         # 2. Fill remaining gaps with known-but-unexecuted requests not
         #    already covered by a preserved slot.
@@ -860,19 +1121,52 @@ class PBFTReplica:
     def _on_new_view(self, msg: NewViewMsg) -> None:
         if msg.new_view > self.view:
             self.view = msg.new_view
+            # Leadership (if this replica believed it held it) is gone;
+            # queued-but-unproposed requests fall back to the new
+            # leader's gap-fill step or client retries.
+            self._reset_batch_queue()
 
     def _on_body_fetch(self, msg: BodyFetchRequest) -> None:
+        if not 0 <= msg.sender < self.ring.n:
+            return
         update = self.known_by_digest.get(msg.digest)
-        if update is None or not 0 <= msg.sender < self.ring.n:
+        if update is not None:
+            self.ring.network.send(
+                self.network_id,
+                self.ring.replicas[msg.sender].network_id,
+                BodyFetchResponse(update),
+                size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+                phase="body_fetch",
+                subsystem="pbft",
+            )
+            return
+        # A batch slot digest: answer with whatever full membership this
+        # replica holds (a replica that prepared the batch has it all).
+        updates = self._updates_for_digest(msg.digest)
+        if updates is None:
             return
         self.ring.network.send(
             self.network_id,
             self.ring.replicas[msg.sender].network_id,
-            BodyFetchResponse(update),
-            size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+            BatchBodyFetchResponse(msg.digest, updates),
+            size_bytes=sum(u.size_bytes() for u in updates) + SMALL_MESSAGE_BYTES,
             phase="body_fetch",
             subsystem="pbft",
         )
+
+    def _on_batch_body_fetch_response(self, msg: BatchBodyFetchResponse) -> None:
+        if len(msg.updates) < 2:
+            return
+        digests = tuple(update_digest(u) for u in msg.updates)
+        if batch_digest(digests) != msg.digest:
+            return  # bodies do not hash to the requested slot digest
+        self.known_batches[msg.digest] = digests
+        # Register each member through the request path: it dedupes,
+        # verifies signatures, arms progress timers, and (via the retry
+        # hooks) completes any reservation or deferred pre-prepare that
+        # was waiting on these bodies.
+        for update in msg.updates:
+            self._on_request(update)
 
     # -- state transfer (laggard catch-up) ---------------------------------------------
 
@@ -914,13 +1208,13 @@ class PBFTReplica:
                 ),
                 size=SMALL_MESSAGE_BYTES,
             )
-            update = self.known_by_digest.get(digest)
-            if update is not None:
+            updates = self._updates_for_digest(digest)
+            if updates is not None:
                 claims.append(
                     ExecutedClaim(
                         seq=seq,
                         digest=digest,
-                        update=update,
+                        updates=updates,
                         signatures=tuple(
                             sorted(self.sign_shares.get(seq, {}).items())
                         ),
@@ -929,9 +1223,11 @@ class PBFTReplica:
         if not certificates and not noop_seqs and not claims:
             return
         size = SMALL_MESSAGE_BYTES + sum(
-            cert.update.size_bytes() + SMALL_MESSAGE_BYTES for cert in certificates
+            sum(u.size_bytes() for u in cert.updates) + SMALL_MESSAGE_BYTES
+            for cert in certificates
         ) + sum(
-            claim.update.size_bytes() + SMALL_MESSAGE_BYTES for claim in claims
+            sum(u.size_bytes() for u in claim.updates) + SMALL_MESSAGE_BYTES
+            for claim in claims
         )
         self.ring.network.send(
             self.network_id,
@@ -949,15 +1245,14 @@ class PBFTReplica:
                 continue
             if cert.digest == NOOP_DIGEST:
                 continue  # no-ops never certify; reject the forgery
-            if update_digest(cert.update) != cert.digest:
-                continue  # valid certificate paired with the wrong body
+            if not cert.updates or slot_digest_for(cert.updates) != cert.digest:
+                continue  # valid certificate paired with the wrong bodies
             if not cert.verify(self.ring):
                 continue
-            self.known_requests[cert.update.update_id] = cert.update
-            self.known_by_digest[cert.digest] = cert.update
+            self._register_slot_bodies(cert.digest, cert.updates)
             self.certificates.setdefault(cert.seq, cert)
             self.sign_shares.setdefault(cert.seq, {}).update(dict(cert.signatures))
-            self.execution_queue[cert.seq] = (cert.digest, cert.update)
+            self.execution_queue[cert.seq] = (cert.digest, cert.updates)
             progressed = True
         for claim in msg.claims:
             if claim.seq <= self.last_executed_seq:
@@ -966,8 +1261,8 @@ class PBFTReplica:
                 continue
             if claim.digest == NOOP_DIGEST:
                 continue
-            if update_digest(claim.update) != claim.digest:
-                continue  # claimed body does not match the signed digest
+            if not claim.updates or slot_digest_for(claim.updates) != claim.digest:
+                continue  # claimed bodies do not match the signed digest
             payload = CommitCertificate.signed_payload(claim.seq, claim.digest)
             signers = self._claim_signers.setdefault(
                 (claim.seq, claim.digest), set()
@@ -984,9 +1279,8 @@ class PBFTReplica:
             # and honest replicas sign only post-commit-quorum, so no
             # rival digest can ever reach the same bar at this slot.
             if len(signers) > self.ring.m:
-                self.known_requests[claim.update.update_id] = claim.update
-                self.known_by_digest[claim.digest] = claim.update
-                self.execution_queue[claim.seq] = (claim.digest, claim.update)
+                self._register_slot_bodies(claim.digest, claim.updates)
+                self.execution_queue[claim.seq] = (claim.digest, claim.updates)
                 progressed = True
         for seq in msg.noop_seqs:
             if seq <= self.last_executed_seq or seq in self.execution_queue:
@@ -1021,6 +1315,9 @@ class InnerRing:
         m: int,
         telemetry=None,
         allow_unsafe_size: bool = False,
+        batch_size: int = 1,
+        batch_delay_ms: float = 0.0,
+        pipeline_depth: int = 0,
     ) -> None:
         if len(replica_nodes) != 3 * m + 1 and not allow_unsafe_size:
             raise ValueError(
@@ -1034,10 +1331,22 @@ class InnerRing:
             )
         if len(principals) != len(replica_nodes):
             raise ValueError("one principal per replica required")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {batch_size}")
+        if batch_delay_ms < 0:
+            raise ValueError(f"batch_delay_ms must be >= 0: {batch_delay_ms}")
+        if pipeline_depth < 0:
+            raise ValueError(f"pipeline_depth must be >= 0: {pipeline_depth}")
         self.kernel = kernel
         self.network = network
         self.telemetry = coalesce(telemetry)
         self.m = m
+        #: updates per agreement round (1 = classic PBFT, wire-identical)
+        self.batch_size = batch_size
+        #: how long the leader holds a partial batch before sealing it
+        self.batch_delay_ms = batch_delay_ms
+        #: max proposed-but-unexecuted rounds in flight (0 = unbounded)
+        self.pipeline_depth = pipeline_depth
         self.replicas = [
             PBFTReplica(i, node, principal, self)
             for i, (node, principal) in enumerate(zip(replica_nodes, principals))
@@ -1060,6 +1369,11 @@ class InnerRing:
     def quorum(self) -> int:
         """2m + 1: intersection quorum for n = 3m + 1."""
         return 2 * self.m + 1
+
+    @property
+    def batching_enabled(self) -> bool:
+        """True when rounds can carry more than one update."""
+        return self.batch_size > 1
 
     @property
     def max_tolerable_faults(self) -> int:

@@ -25,6 +25,11 @@ class ChaosConfig:
     intensity: float = 0.3
     #: Byzantine replicas to mark in PBFT scenarios (None = the ring's m)
     byzantine: int | None = None
+    #: PBFT batching knobs threaded into the scenario deployment, so
+    #: every chaos scenario can run with batched agreement rounds
+    batch_size: int = 1
+    batch_delay_ms: float = 200.0
+    pipeline_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.duration_ms <= 0:
@@ -33,6 +38,12 @@ class ChaosConfig:
             raise ValueError("intensity must be in [0, 1]")
         if self.byzantine is not None and self.byzantine < 0:
             raise ValueError("byzantine must be >= 0")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.batch_delay_ms < 0:
+            raise ValueError("batch_delay_ms must be >= 0")
+        if self.pipeline_depth < 0:
+            raise ValueError("pipeline_depth must be >= 0")
 
 
 @dataclass
@@ -51,6 +62,17 @@ class DeploymentConfig:
     #: Byzantine fault budget; the inner ring has 3m+1 replicas placed on
     #: transit (well-connected) nodes.
     byzantine_m: int = 1
+
+    #: PBFT request batching (Castro-Liskov): updates per agreement
+    #: round.  1 keeps the classic one-round-per-update protocol,
+    #: wire-identical to the unbatched implementation.
+    batch_size: int = 1
+    #: how long the leader holds a partial batch before sealing it (ms);
+    #: irrelevant at batch_size=1 where every batch fills immediately
+    batch_delay_ms: float = 50.0
+    #: round pipelining: max agreement rounds proposed but not yet
+    #: executed (0 = unbounded, the classic behaviour)
+    pipeline_depth: int = 0
 
     #: secondary replicas created per object
     secondaries_per_object: int = 4
@@ -85,6 +107,12 @@ class DeploymentConfig:
     def __post_init__(self) -> None:
         if self.byzantine_m < 1:
             raise ValueError("byzantine_m must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.batch_delay_ms < 0:
+            raise ValueError("batch_delay_ms must be >= 0")
+        if self.pipeline_depth < 0:
+            raise ValueError("pipeline_depth must be >= 0")
         if self.secondaries_per_object < 0:
             raise ValueError("secondaries_per_object must be >= 0")
         if not 1 <= self.archival_k < self.archival_n:

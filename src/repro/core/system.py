@@ -191,6 +191,9 @@ class OceanStoreSystem:
             [self.servers[n].principal for n in self.ring_nodes],
             m=self.config.byzantine_m,
             telemetry=self.telemetry,
+            batch_size=self.config.batch_size,
+            batch_delay_ms=self.config.batch_delay_ms,
+            pipeline_depth=self.config.pipeline_depth,
         )
         self.ring.authorizer = self._authorize
         self.ring.on_execute(self._on_execute)
@@ -388,7 +391,13 @@ class OceanStoreSystem:
             self._deliver_commit(cert)
 
     def _deliver_commit(self, certificate: CommitCertificate) -> None:
-        update = certificate.update
+        # A batched certificate carries an ordered membership; each member
+        # flows through the per-update dissemination push, callbacks, and
+        # archival exactly as if it had its own agreement round.
+        for update in certificate.updates:
+            self._deliver_committed_update(update)
+
+    def _deliver_committed_update(self, update: Update) -> None:
         guid = update.object_guid
         outcome = self._outcomes.get(update.update_id)
         tier = self.tiers.get(guid)

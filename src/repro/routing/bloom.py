@@ -14,9 +14,13 @@ this also matches Figure 2, where "GUID hashes to bits 0, 1, and 3").
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
-from repro.util.ids import GUID
+from repro.util.ids import GUID, GUID_BITS
+
+#: 16-bit slices a GUID can supply directly before re-expansion kicks in
+_DIRECT_SLICES = GUID_BITS // 16
 
 
 def guid_bit_positions(guid: GUID, width: int, hashes: int) -> tuple[int, ...]:
@@ -25,6 +29,14 @@ def guid_bit_positions(guid: GUID, width: int, hashes: int) -> tuple[int, ...]:
     Positions are carved from successive 16-bit slices of the GUID value,
     reduced mod ``width``; the GUID's pseudo-randomness makes the slices
     behave as independent hash functions.
+
+    A 160-bit GUID only supplies ``GUID_BITS/16 = 10`` direct slices.
+    Beyond that the shift runs off the end of the value, every further
+    "slice" degenerates to zero, and the resulting positions become the
+    same GUID-independent arithmetic schedule for *all* GUIDs -- so every
+    filter silently shares its high positions and false-positive rates
+    collapse.  High-index slices therefore re-expand the GUID through
+    SHA-1(guid || round): still deterministic, still GUID-dependent.
     """
     if width <= 0:
         raise ValueError(f"filter width must be positive: {width}")
@@ -32,9 +44,19 @@ def guid_bit_positions(guid: GUID, width: int, hashes: int) -> tuple[int, ...]:
         raise ValueError(f"hash count must be positive: {hashes}")
     positions = []
     value = guid.value
+    extension = b""
     for i in range(hashes):
-        chunk = (value >> (16 * i)) & 0xFFFF
-        # Fold in the index so more than GUID_BITS/16 hashes still differ.
+        if i < _DIRECT_SLICES:
+            chunk = (value >> (16 * i)) & 0xFFFF
+        else:
+            j = i - _DIRECT_SLICES
+            round_no, offset = divmod(j, _DIRECT_SLICES)
+            if offset == 0:
+                extension = hashlib.sha1(
+                    guid.to_bytes() + round_no.to_bytes(4, "big")
+                ).digest()
+            chunk = int.from_bytes(extension[2 * offset : 2 * offset + 2], "big")
+        # Fold in the index so repeated chunk values still differ.
         positions.append((chunk + i * 0x9E37) % width)
     return tuple(positions)
 

@@ -36,6 +36,16 @@ ALL_SCENARIOS = BYZANTINE_SCENARIOS + (
 )
 
 
+def chaos_config(batched: bool) -> ChaosConfig | None:
+    """None = run_scenario's default (unbatched); batched packs rounds."""
+    if not batched:
+        return None
+    return ChaosConfig(batch_size=4, batch_delay_ms=200.0, pipeline_depth=2)
+
+
+BATCHING = pytest.mark.parametrize("batched", (False, True), ids=("b1", "b4"))
+
+
 def test_registry_is_complete():
     assert set(SCENARIOS) == set(ALL_SCENARIOS)
     descriptions = scenario_descriptions()
@@ -48,10 +58,11 @@ def test_registry_is_complete():
 # ---------------------------------------------------------------------------
 
 
+@BATCHING
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("name", BYZANTINE_SCENARIOS)
-def test_byzantine_strategy_tolerated_at_full_size(name, seed):
-    report = run_scenario(name, seed=seed)
+def test_byzantine_strategy_tolerated_at_full_size(name, seed, batched):
+    report = run_scenario(name, seed=seed, chaos=chaos_config(batched))
     assert report.passed, report.render(include_trace=True)
     assert report.invariants.violated_names() == set()
     # Safety and liveness were actually checked, not skipped.
@@ -59,10 +70,13 @@ def test_byzantine_strategy_tolerated_at_full_size(name, seed):
     assert {"agreement-safety", "quorum-feasibility", "liveness"} <= checked
 
 
+@BATCHING
 @pytest.mark.parametrize("seed", SEEDS)
-def test_quorum_violation_detected_below_3m_plus_1(seed):
+def test_quorum_violation_detected_below_3m_plus_1(seed, batched):
     """n = 3m cannot mask m faults: the oracle must say so, loudly."""
-    report = run_scenario("pbft-quorum-violation", seed=seed)
+    report = run_scenario(
+        "pbft-quorum-violation", seed=seed, chaos=chaos_config(batched)
+    )
     assert report.passed, report.render(include_trace=True)
     violated = report.invariants.violated_names()
     assert violated == {"quorum-feasibility", "liveness"}
@@ -76,12 +90,13 @@ def test_quorum_violation_detected_below_3m_plus_1(seed):
 # ---------------------------------------------------------------------------
 
 
+@BATCHING
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize(
     "name", ("routing-churn", "dissemination-loss", "archival-crash-repair")
 )
-def test_infrastructure_faults_tolerated(name, seed):
-    report = run_scenario(name, seed=seed)
+def test_infrastructure_faults_tolerated(name, seed, batched):
+    report = run_scenario(name, seed=seed, chaos=chaos_config(batched))
     assert report.passed, report.render(include_trace=True)
     assert report.invariants.violated_names() == set()
 
@@ -122,6 +137,42 @@ def test_intensity_and_duration_feed_the_trace():
     a = run_scenario("dissemination-loss", seed=4, chaos=mild)
     b = run_scenario("dissemination-loss", seed=4, chaos=harsh)
     assert a.trace_digest != b.trace_digest
+
+
+# ---------------------------------------------------------------------------
+# Batch boundaries in the flight recorder
+# ---------------------------------------------------------------------------
+
+
+def test_batched_run_records_batch_boundaries():
+    """A failed batched-run dump must show which updates shared a round:
+    the leader emits a ``batch_seal`` flight event per sealed batch."""
+    report = run_scenario(
+        "pbft-silent",
+        seed=0,
+        chaos=chaos_config(True),
+        capture_flight=True,
+    )
+    assert report.passed, report.render(include_trace=True)
+    assert "batch_seal" in report.flight_dump
+    seal_lines = [
+        line for line in report.flight_dump.splitlines() if "batch_seal" in line
+    ]
+    # Boundary events carry the round's membership for postmortems.
+    assert all("members=" in line for line in seal_lines)
+
+
+def test_unbatched_run_has_no_batch_boundaries():
+    report = run_scenario("pbft-silent", seed=0, capture_flight=True)
+    assert report.passed
+    assert "batch_seal" not in report.flight_dump
+
+
+def test_batched_same_seed_replays_bit_identically():
+    first = run_scenario("pbft-delay", seed=17, chaos=chaos_config(True))
+    second = run_scenario("pbft-delay", seed=17, chaos=chaos_config(True))
+    assert first.trace_digest == second.trace_digest
+    assert first.events == second.events
 
 
 # ---------------------------------------------------------------------------

@@ -302,7 +302,7 @@ class TestLaggardCatchUp:
         )
         digest = donor.executed_by_seq[0]
         share = (0, donor.sign_shares[0][0])
-        claim = ExecutedClaim(0, digest, update, (share,))
+        claim = ExecutedClaim(0, digest, (update,), (share,))
         laggard._on_catch_up_response(CatchUpResponse((), (), 0, (claim,)))
         # one verified signer is not > m: a lone Byzantine could be lying
         assert laggard.last_executed_seq == -1
@@ -316,7 +316,7 @@ class TestLaggardCatchUp:
         digest = donor.executed_by_seq[0]
         for signer in (0, 1):
             share = (signer, donor.sign_shares[0][signer])
-            claim = ExecutedClaim(0, digest, update, (share,))
+            claim = ExecutedClaim(0, digest, (update,), (share,))
             laggard._on_catch_up_response(
                 CatchUpResponse((), (), signer, (claim,))
             )
@@ -333,7 +333,7 @@ class TestLaggardCatchUp:
         digest = donor.executed_by_seq[0]
         forged_body = make_simple_update(author, payload=b"forged", ts=9.0)
         shares = tuple(sorted(donor.sign_shares[0].items()))
-        claim = ExecutedClaim(0, digest, forged_body, shares)
+        claim = ExecutedClaim(0, digest, (forged_body,), shares)
         laggard._on_catch_up_response(CatchUpResponse((), (), 0, (claim,)))
         assert laggard.last_executed_seq == -1
 
@@ -345,7 +345,7 @@ class TestLaggardCatchUp:
         )
         digest = donor.executed_by_seq[0]
         shares = tuple((idx, b"not-a-signature") for idx in (0, 1, 2))
-        claim = ExecutedClaim(0, digest, update, shares)
+        claim = ExecutedClaim(0, digest, (update,), shares)
         laggard._on_catch_up_response(CatchUpResponse((), (), 0, (claim,)))
         assert laggard.last_executed_seq == -1
 

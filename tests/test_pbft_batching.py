@@ -1,0 +1,206 @@
+"""Differential equivalence: batching changes cost, never semantics.
+
+Every test here runs the same workload through an unbatched ring
+(``batch_size=1`` -- wire-identical to classic PBFT) and through batched,
+pipelined rings, then asserts the *outcomes* are indistinguishable:
+
+- the ring-level committed order (update ids, in order),
+- each replica's own execution order,
+- each replica's version-log state after applying what it executed
+  (compared as serialized bytes),
+- the per-update bodies that batch slots unpack into -- the same
+  canonical digests an :class:`~repro.consistency.pbft.ExecutedClaim`
+  would carry for those slots.
+
+Batching may only change *when* updates share an agreement round, never
+*what* gets committed or in what order.
+"""
+
+import random
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import InnerRing
+from repro.consistency.costmodel import fit_cost_model
+from repro.consistency.measure import measure_sweep
+from repro.consistency.pbft import update_digest
+from repro.core import DeploymentConfig, OceanStoreSystem, make_client
+from repro.core.system import serialize_state
+from repro.crypto import make_principal
+from repro.data import (
+    AppendBlock,
+    TruePredicate,
+    UpdateBranch,
+    VersionLog,
+    make_update,
+)
+from repro.naming import object_guid
+from repro.sim import Kernel, Network, TopologyParams
+
+BATCH_SIZES = (2, 4, 8)
+
+
+def run_workload(
+    payloads,
+    batch_size,
+    seed,
+    batch_delay_ms=150.0,
+    pipeline_depth=2,
+    m=1,
+):
+    """Drive ``payloads`` through a bare ring; return its observable outcome."""
+    n = 3 * m + 1
+    kernel = Kernel()
+    graph = nx.complete_graph(n + 1)
+    nx.set_edge_attributes(graph, 40.0, "latency_ms")
+    network = Network(kernel, graph)
+    rng = random.Random(seed)
+    principals = [make_principal(f"replica-{i}", rng, bits=256) for i in range(n)]
+    ring = InnerRing(
+        kernel,
+        network,
+        list(range(n)),
+        principals,
+        m=m,
+        batch_size=batch_size,
+        batch_delay_ms=batch_delay_ms if batch_size > 1 else 0.0,
+        pipeline_depth=pipeline_depth,
+    )
+    executed = {i: [] for i in range(n)}
+    ring.on_execute(lambda rep, seq, up: executed[rep.index].append(up))
+    author = make_principal("author", random.Random(seed + 1), bits=256)
+    guid = object_guid(author.public_key, "differential")
+    for i, payload in enumerate(payloads):
+        update = make_update(
+            author,
+            guid,
+            [UpdateBranch(TruePredicate(), (AppendBlock(payload),))],
+            float(i + 1),
+        )
+        ring.submit(n, update)
+    kernel.run(until=60_000.0)
+    return ring, executed
+
+
+def fingerprint(ring, executed):
+    """Everything an application could observe, as comparable values."""
+    committed = [u.update_id for u in ring.committed_order]
+    per_replica_orders = {
+        i: [u.update_id for u in ups] for i, ups in executed.items()
+    }
+    log_states = {}
+    for i, ups in executed.items():
+        log = VersionLog()
+        for u in ups:
+            log.apply(u)
+        log_states[i] = serialize_state(log.head)
+    # The ordered update bodies each replica's slots unpack into: the
+    # same canonical per-update digests an ExecutedClaim for those slots
+    # would attest.  Batch membership must never substitute or reorder
+    # bodies relative to the unbatched slots.
+    claim_bodies = {}
+    for i, replica in enumerate(ring.replicas):
+        digests = []
+        for seq in sorted(replica.executed_by_seq):
+            members = replica._updates_for_digest(replica.executed_by_seq[seq])
+            if members is not None:
+                digests.extend(update_digest(u) for u in members)
+        claim_bodies[i] = digests
+    return committed, per_replica_orders, log_states, claim_bodies
+
+
+payload_lists = st.lists(
+    st.binary(min_size=1, max_size=64), min_size=1, max_size=8
+)
+
+
+class TestDifferentialEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=10_000), payloads=payload_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_batched_runs_match_unbatched(self, seed, payloads):
+        baseline = fingerprint(*run_workload(payloads, batch_size=1, seed=seed))
+        committed = baseline[0]
+        assert len(committed) == len(payloads)
+        for batch_size in BATCH_SIZES:
+            outcome = fingerprint(
+                *run_workload(payloads, batch_size=batch_size, seed=seed)
+            )
+            assert outcome == baseline, f"batch_size={batch_size} diverged"
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_unbounded_pipeline_matches_bounded(self, seed):
+        payloads = [f"u{i}".encode() for i in range(6)]
+        bounded = fingerprint(
+            *run_workload(payloads, batch_size=4, seed=seed, pipeline_depth=1)
+        )
+        unbounded = fingerprint(
+            *run_workload(payloads, batch_size=4, seed=seed, pipeline_depth=0)
+        )
+        assert bounded == unbounded
+
+
+class TestFullSystemEquivalence:
+    def _system(self, batch_size):
+        config = DeploymentConfig(
+            seed=11,
+            topology=TopologyParams(
+                transit_nodes=4, stubs_per_transit=2, nodes_per_stub=4
+            ),
+            secondaries_per_object=3,
+            archival_k=4,
+            archival_n=8,
+            batch_size=batch_size,
+            batch_delay_ms=150.0,
+            pipeline_depth=2,
+        )
+        system = OceanStoreSystem(config)
+        alice = make_client(system, "alice", seed=2)
+        obj = alice.create_object("shared-log")
+        builder_updates = [
+            alice.update_builder(obj)
+            .append(f"entry-{i};".encode())
+            .build(alice.principal, obj.guid, float(i + 1))
+            for i in range(5)
+        ]
+        # Submit the whole burst before settling so batched rings
+        # actually pack multi-update rounds.
+        for update in builder_updates:
+            system.submit_update(alice.home_node, update)
+        system.settle(60_000.0)
+        return system, obj
+
+    def test_batched_system_state_matches_unbatched(self):
+        plain_system, plain_obj = self._system(batch_size=1)
+        batched_system, batched_obj = self._system(batch_size=4)
+        assert plain_obj.guid == batched_obj.guid
+        plain_order = [u.update_id for u in plain_system.ring.committed_order]
+        batched_order = [u.update_id for u in batched_system.ring.committed_order]
+        assert plain_order == batched_order
+        assert len(plain_order) == 5
+        plain_primary = plain_system.servers[plain_system.ring_nodes[0]]
+        batched_primary = batched_system.servers[batched_system.ring_nodes[0]]
+        assert serialize_state(
+            plain_primary.objects[plain_obj.guid].log.head
+        ) == serialize_state(batched_primary.objects[batched_obj.guid].log.head)
+
+
+class TestAmortization:
+    def test_batched_quadratic_term_amortizes(self):
+        updates = 8
+        unbatched = measure_sweep(
+            ms=(2, 3, 4), update_size=1000, updates=updates, batch_size=1
+        )
+        batched = measure_sweep(
+            ms=(2, 3, 4), update_size=1000, updates=updates, batch_size=updates
+        )
+        fit_1 = fit_cost_model(
+            (t.n, t.update_bytes, t.per_update_bytes) for t in unbatched
+        )
+        fit_b = fit_cost_model(
+            (t.n, t.update_bytes, t.per_update_bytes) for t in batched
+        )
+        assert fit_1.quadratic_ok and fit_b.quadratic_ok
+        assert fit_b.c1 <= fit_1.c1 / 4

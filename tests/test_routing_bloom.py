@@ -35,6 +35,41 @@ class TestBitPositions:
         with pytest.raises(ValueError):
             guid_bit_positions(g, 100, 0)
 
+    def test_high_hash_indices_stay_guid_dependent(self):
+        # Regression: beyond GUID_BITS/16 slices the 16-bit chunks used to
+        # degenerate to zero, so every GUID shared the same high positions
+        # (the index-fold schedule).  They must differ per GUID.
+        direct = GUID_BITS // 16
+        hashes = direct + 8
+        width = 1 << 16
+        g1 = GUID.hash_of(b"left")
+        g2 = GUID.hash_of(b"right")
+        tail1 = guid_bit_positions(g1, width, hashes)[direct:]
+        tail2 = guid_bit_positions(g2, width, hashes)[direct:]
+        assert tail1 != tail2
+
+    def test_low_hash_indices_unchanged_by_extension(self):
+        # The direct-slice prefix is a wire-visible baseline (filters built
+        # at the default hashes=4 must not move); re-expansion only kicks
+        # in past GUID_BITS/16.
+        g = GUID.hash_of(b"stable")
+        width = 1024
+        expected = tuple(
+            (((g.value >> (16 * i)) & 0xFFFF) + i * 0x9E37) % width
+            for i in range(GUID_BITS // 16)
+        )
+        assert guid_bit_positions(g, width, GUID_BITS // 16) == expected
+        assert guid_bit_positions(g, width, 25)[: GUID_BITS // 16] == expected
+
+    @given(guids, guids)
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_guids_rarely_collide_at_high_hash_counts(self, g1, g2):
+        if g1 == g2:
+            return
+        p1 = guid_bit_positions(g1, 1 << 16, 30)
+        p2 = guid_bit_positions(g2, 1 << 16, 30)
+        assert p1 != p2
+
 
 class TestBloomFilter:
     def test_contains_after_add(self):

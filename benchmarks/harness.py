@@ -36,9 +36,17 @@ from typing import Callable
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.api.backend import UnknownObject  # noqa: E402
 from repro.consistency import fit_cost_model, measure_update_traffic  # noqa: E402
-from repro.core import DeploymentConfig, OceanStoreSystem, make_client  # noqa: E402
-from repro.sim import TopologyParams  # noqa: E402
+from repro.core import (  # noqa: E402
+    ChaosConfig,
+    DeploymentConfig,
+    OceanStoreSystem,
+    RecoveryConfig,
+    RetryPolicy,
+    make_client,
+)
+from repro.sim import LinkFaultRule, TopologyParams  # noqa: E402
 from repro.util.benchjson import (  # noqa: E402
     append_run,
     compare_metrics,
@@ -61,6 +69,11 @@ class BenchResult:
 
 
 BENCHES: dict[str, Callable[[int, bool], BenchResult]] = {}
+
+#: benches recorded as trajectories for trend-watching but never gated:
+#: their numbers depend on stochastic fault draws, so a tolerance band
+#: would flake.  ``check`` still runs them and prints the drift.
+INFORMATIONAL: set[str] = {"degraded_read_path"}
 
 
 def bench(name: str):
@@ -227,6 +240,76 @@ def bench_read_path(seed: int, fast: bool) -> BenchResult:
     return BenchResult(metrics, config={"reads": reads, "topology": "4x2x5"})
 
 
+@bench("degraded_read_path")
+def bench_degraded_read_path(seed: int, fast: bool) -> BenchResult:
+    """Deadline-budgeted reads under 5% link loss with recovery on."""
+    reads = 5 if fast else 20
+    system = OceanStoreSystem(
+        DeploymentConfig(
+            seed=seed,
+            topology=TopologyParams(
+                transit_nodes=4, stubs_per_transit=2, nodes_per_stub=5
+            ),
+            chaos=ChaosConfig(enabled=True),
+            recovery=RecoveryConfig(
+                enabled=True,
+                heartbeat_interval_ms=2_000.0,
+                heartbeat_timeout_ms=1_500.0,
+                suspicion_threshold=2,
+                refresh_interval_ms=20_000.0,
+            ),
+        )
+    )
+    policy = RetryPolicy(
+        deadline_ms=30_000.0,
+        max_attempts=3,
+        backoff_base_ms=1_000.0,
+        seed=seed,
+    )
+    client = make_client(
+        system, "bench-degraded-reader", seed=seed + 1, retry=policy
+    )
+    obj = client.create_object("bench-object")
+    client.write(obj, b"degraded payload " * 16)
+    system.settle()
+    # The write lands clean; the loss window covers only the reads.
+    system.net_faults.add_rule(LinkFaultRule(drop=0.05))
+    base_messages = system.network.stats_total_messages
+    base_bytes = system.network.stats_total_bytes
+    start_ms = system.kernel.now
+    total = 0
+    served = 0
+    for _ in range(reads):
+        try:
+            total += len(client.read(obj))
+            served += 1
+        except UnknownObject:
+            pass
+        system.settle(1_000.0)
+    metrics = {
+        "reads": reads,
+        "served": served,
+        "bytes_read": total,
+        "sim_time_ms": round(system.kernel.now - start_ms, 1),
+        "messages_total": system.network.stats_total_messages - base_messages,
+        "bytes_total": system.network.stats_total_bytes - base_bytes,
+        "dropped_total": system.net_faults.stats_dropped,
+    }
+    return BenchResult(
+        metrics,
+        config={
+            "reads": reads,
+            "topology": "4x2x5",
+            "link_drop": 0.05,
+            "retry": {
+                "deadline_ms": policy.deadline_ms,
+                "max_attempts": policy.max_attempts,
+                "backoff_base_ms": policy.backoff_base_ms,
+            },
+        },
+    )
+
+
 @bench("archival")
 def bench_archival(seed: int, fast: bool) -> BenchResult:
     """Erasure-coded archive and survivor-only restore."""
@@ -330,7 +413,14 @@ def cmd_check(args: argparse.Namespace) -> int:
         problems = compare_metrics(
             baseline["metrics"], envelope["metrics"], tolerance=args.tolerance
         )
-        if problems:
+        if problems and name in INFORMATIONAL:
+            print(
+                f"{name}: drift vs {baseline['meta']['git_rev']} "
+                "(informational, not gated)"
+            )
+            for problem in problems:
+                print(f"    {problem}")
+        elif problems:
             print(f"{name}: REGRESSION vs {baseline['meta']['git_rev']}")
             for problem in problems:
                 print(f"    {problem}")

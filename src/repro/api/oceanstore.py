@@ -18,6 +18,7 @@ from repro.crypto.keys import KeyRing, ObjectKey, Principal
 from repro.data.ciphertext_ops import ClientCodec, UpdateBuilder
 from repro.data.update import DataObjectState
 from repro.naming.guid import object_guid
+from repro.recovery.retry import RetryPolicy
 from repro.util.ids import GUID
 
 
@@ -38,11 +39,15 @@ class OceanStoreHandle:
         principal: Principal,
         keyring: KeyRing,
         home_node: int = 0,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.backend = backend
         self.principal = principal
         self.keyring = keyring
         self.home_node = home_node
+        #: default retry budget for reads; ``None`` keeps the ordinary
+        #: (non-degrading) read path
+        self.retry = retry
         self._clock = 0.0
         self._builder_nonce = 0
 
@@ -116,17 +121,30 @@ class OceanStoreHandle:
     # -- reads ----------------------------------------------------------------------
 
     def read(
-        self, handle: ObjectHandle, session: Session | None = None
+        self,
+        handle: ObjectHandle,
+        session: Session | None = None,
+        retry: RetryPolicy | None = None,
     ) -> bytes:
-        """Read and decrypt the whole object under the session's rules."""
-        state = self._read_state(handle.guid, session)
+        """Read and decrypt the whole object under the session's rules.
+
+        With a :class:`RetryPolicy` (per call, or installed on the
+        handle), the read runs down the backend's degradation ladder
+        instead of the ordinary path: locate, salted retries with
+        backoff, tentative secondary data (when the session permits),
+        and archival reconstruction as the last resort.
+        """
+        state = self._read_state(handle.guid, session, retry)
         return handle.codec.read_document(state.data)
 
     def read_state(
-        self, handle: ObjectHandle, session: Session | None = None
+        self,
+        handle: ObjectHandle,
+        session: Session | None = None,
+        retry: RetryPolicy | None = None,
     ) -> DataObjectState:
         """The raw (ciphertext) state, for update building."""
-        return self._read_state(handle.guid, session)
+        return self._read_state(handle.guid, session, retry)
 
     def read_version(self, handle: ObjectHandle, version: int) -> bytes:
         """Read a permanent, read-only version (a 'permanent pointer to
@@ -134,18 +152,34 @@ class OceanStoreHandle:
         state = self.backend.read_version(handle.guid, version)
         return handle.codec.read_document(state.data)
 
-    def _read_state(self, guid: GUID, session: Session | None) -> DataObjectState:
+    def _read_state(
+        self,
+        guid: GUID,
+        session: Session | None,
+        retry: RetryPolicy | None = None,
+    ) -> DataObjectState:
         allow_tentative = True
         min_version = 0
         if session is not None:
             allow_tentative = not session.requires_committed_data
             min_version = session.min_acceptable_version(guid)
-        state = self.backend.read_state(
-            guid,
-            allow_tentative=allow_tentative,
-            min_version=min_version,
-            client_node=self.home_node,
-        )
+        retry = retry if retry is not None else self.retry
+        read_degraded = getattr(self.backend, "read_degraded", None)
+        if retry is not None and read_degraded is not None:
+            state = read_degraded(
+                guid,
+                allow_tentative=allow_tentative,
+                min_version=min_version,
+                client_node=self.home_node,
+                retry=retry,
+            )
+        else:
+            state = self.backend.read_state(
+                guid,
+                allow_tentative=allow_tentative,
+                min_version=min_version,
+                client_node=self.home_node,
+            )
         if session is not None:
             session.check_read(guid, state)
         return state

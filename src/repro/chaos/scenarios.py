@@ -43,6 +43,7 @@ from repro.crypto.keys import make_principal
 from repro.data import AppendBlock, TruePredicate, UpdateBranch, make_update
 from repro.data.update import Update
 from repro.naming import object_guid
+from repro.recovery import RecoveryConfig, RetryPolicy
 from repro.sim.failures import ChurnParams
 from repro.sim.faults import LinkFaultRule
 from repro.sim.kernel import Kernel
@@ -182,7 +183,10 @@ def _standard_system(ctx: ChaosContext, **overrides) -> OceanStoreSystem:
         secondaries_per_object=3,
         archival_k=4,
         archival_n=8,
-        telemetry=TelemetryConfig(enabled=True),
+        # Recovery heartbeats add steady background traffic; a roomy
+        # flight ring keeps the rare repair events (suspect, reparent,
+        # republish) from being evicted before the postmortem dump.
+        telemetry=TelemetryConfig(enabled=True, flight_capacity=65_536),
         chaos=ctx.chaos,
         batch_size=ctx.chaos.batch_size,
         batch_delay_ms=ctx.chaos.batch_delay_ms,
@@ -516,7 +520,152 @@ def _dissemination_loss(ctx: ChaosContext) -> None:
             )
 
 
-# -- archival repair racing crashes ------------------------------------------
+# -- self-healing recovery under crashes -------------------------------------
+
+
+def _recovery_config(ctx: ChaosContext) -> RecoveryConfig:
+    """Recovery knobs for the recovery scenarios: enabled unless the
+    chaos config forces it off (that forcing is how tests show the
+    oracle catching the *unrepaired* failures)."""
+    enabled = True if ctx.chaos.recovery is None else ctx.chaos.recovery
+    return RecoveryConfig(
+        enabled=enabled,
+        heartbeat_interval_ms=1_000.0,
+        heartbeat_timeout_ms=600.0,
+        suspicion_threshold=2,
+        refresh_interval_ms=10_000.0,
+    )
+
+
+@scenario("orphaned-subtree")
+def _orphaned_subtree(ctx: ChaosContext) -> None:
+    """Crash a dissemination-tree parent mid-stream; recovery must
+    reparent the orphaned subtree and catch it up via anti-entropy."""
+    system = _standard_system(
+        ctx,
+        secondaries_per_object=6,
+        dissemination_fanout=2,
+        recovery=_recovery_config(ctx),
+    )
+    author = _make_author(ctx)
+    guid = _new_object(ctx, author, "orphaned-object")
+    system.settle()
+    client = _client_node(ctx)
+    first = _build_update(author, guid, b"before-the-crash", ts=1.0)
+    ctx.expected_update_ids.append(first.update_id)
+    _submit_until_executed(ctx, client, first)
+
+    tier = system.tiers[guid]
+    parents = [m for m in sorted(tier.replicas) if tier.tree.children(m)]
+    victim = (
+        max(parents, key=lambda m: (len(tier.tree.children(m)), -m))
+        if parents
+        else sorted(tier.replicas)[0]
+    )
+    orphans = tier.tree.children(victim)
+    ctx.event(f"crashing tree parent {victim} (children {orphans})")
+    system.injector.crash(victim)
+    # Two more commits while the parent is dead: pushes into the
+    # orphaned subtree are dropped on the floor.
+    for i in (1, 2):
+        update = _build_update(
+            author, guid, f"past-the-corpse-{i}".encode(), ts=float(i + 1)
+        )
+        ctx.expected_update_ids.append(update.update_id)
+        _submit_until_executed(ctx, client, update)
+    # Time for the detector to suspect and the tree to heal; no epidemic
+    # rounds -- convergence must come from the repair path alone.
+    system.settle(ctx.chaos.duration_ms)
+    ctx.event(
+        f"recovery window closed; tier holds {len(tier.replicas)} replicas"
+    )
+
+    ctx.extra_checked.append("dissemination-convergence")
+    expected_seq = len(ctx.expected_update_ids) - 1
+    for node in sorted(tier.replicas):
+        if system.network.is_down(node):
+            ctx.extra_violations.append(
+                InvariantViolation(
+                    "dissemination-convergence",
+                    f"dead node {node} still registered in the secondary tier",
+                )
+            )
+            continue
+        through = tier.replicas[node].committed_through
+        ctx.event(f"replica {node} committed through seq {through}")
+        if through < expected_seq:
+            ctx.extra_violations.append(
+                InvariantViolation(
+                    "dissemination-convergence",
+                    f"replica {node} stuck at seq {through} < {expected_seq} "
+                    "after the dead parent should have been repaired",
+                )
+            )
+
+
+@scenario("dead-root-read")
+def _dead_root_read(ctx: ChaosContext) -> None:
+    """Kill the salted roots and wipe the pointer paths mid-read; the
+    degradation ladder must keep the read serviceable and republish must
+    restore locate-ability."""
+    from repro.api.backend import UnknownObject
+
+    system = _standard_system(ctx, recovery=_recovery_config(ctx))
+    author = _make_author(ctx)
+    guid = _new_object(ctx, author, "rooted-object")
+    system.settle()
+    client = _client_node(ctx)
+    update = _build_update(author, guid, b"beneath-the-roots", ts=1.0)
+    ctx.expected_update_ids.append(update.update_id)
+    _submit_until_executed(ctx, client, update)
+
+    # Soft-state catastrophe (a TTL-expiry storm): every Plaxton pointer
+    # for every salted GUID vanishes, the probabilistic tier's neighbor
+    # filters go blank, and each salt's root crashes unless it is a ring
+    # member (the quorum must stay live).  Only republish can bring the
+    # object back into the location infrastructure.
+    salted = system.router.salted_guids(guid)
+    for nid in sorted(system.mesh.nodes):
+        node = system.mesh.nodes[nid]
+        for salt in salted:
+            node.pointers.pop(salt, None)
+    for nid in sorted(system.network.nodes()):
+        system.probabilistic._nodes[nid].neighbor_filters.clear()
+    roots = sorted(set(system.router.roots_of(guid)))
+    victims = [r for r in roots if r not in system.ring_nodes]
+    for root in victims:
+        system.injector.crash(root)
+    ctx.event(
+        f"pointer paths wiped for {len(salted)} salts; roots {roots}, "
+        f"{len(victims)} crashed"
+    )
+
+    # A client read lands in the middle of the damage.  The ladder's
+    # backoff settles are where the detector, eviction, republish, and
+    # refresh loops get to run.
+    policy = RetryPolicy(
+        deadline_ms=30_000.0,
+        max_attempts=5,
+        backoff_base_ms=2_000.0,
+        seed=ctx.seed,
+    )
+    try:
+        state = system.read_degraded(
+            guid,
+            allow_tentative=True,
+            min_version=0,
+            client_node=client,
+            retry=policy,
+        )
+        ctx.event(f"degraded read served version {state.version}")
+    except UnknownObject:
+        ctx.event("degraded read exhausted its deadline budget")
+    system.settle(ctx.chaos.duration_ms)
+    result = system.location.locate(client, guid)
+    ctx.event(
+        "post-storm locate: "
+        + (f"hit at node {result.replica_node}" if result.found else "miss")
+    )
 
 
 @scenario("archival-crash-repair")

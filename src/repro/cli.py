@@ -166,6 +166,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault window length in virtual ms",
     )
     chaos.add_argument(
+        "--no-recovery",
+        action="store_true",
+        help="force the self-healing recovery layer off (the recovery "
+        "scenarios are then expected to fail their invariant oracle)",
+    )
+    chaos.add_argument(
         "--trace",
         action="store_true",
         help="print the event trace even for passing scenarios",
@@ -459,7 +465,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return 0
     names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
     chaos_config = ChaosConfig(
-        enabled=True, intensity=args.intensity, duration_ms=args.duration
+        enabled=True,
+        intensity=args.intensity,
+        duration_ms=args.duration,
+        recovery=False if args.no_recovery else None,
     )
     reports = [
         run_scenario(name, seed=args.seed, chaos=chaos_config)

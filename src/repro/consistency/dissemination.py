@@ -17,6 +17,7 @@ already-attached node with spare fanout, which keeps subtrees regional.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.sim.network import Network, NodeId
 from repro.telemetry import coalesce
@@ -73,8 +74,21 @@ class DisseminationTree:
         self._parent[node] = parent
         return parent
 
-    def remove_member(self, node: NodeId) -> None:
-        """Detach a member; orphaned subtrees re-attach greedily."""
+    def remove_member(
+        self,
+        node: NodeId,
+        candidate_filter: "Callable[[NodeId], bool] | None" = None,
+    ) -> dict[NodeId, NodeId]:
+        """Detach a member; orphaned subtrees re-attach greedily.
+
+        The departed node's low-bandwidth flag is cleared, so a node
+        that later rejoins does not inherit a stale degraded edge.
+        ``candidate_filter`` optionally restricts which members may
+        adopt orphans (recovery passes a liveness check so a crashed
+        parent's children never reattach under another dead node); the
+        root is always eligible so repair cannot strand an orphan.
+        Returns the ``orphan -> new parent`` mapping.
+        """
         if node == self.root:
             raise TreeError("cannot remove the root")
         if node not in self._children:
@@ -83,12 +97,19 @@ class DisseminationTree:
         parent = self._parent.pop(node)
         self._children[parent].remove(node)
         self.low_bandwidth.discard(node)
+        reparented: dict[NodeId, NodeId] = {}
         for orphan in orphans:
             subtree = self._subtree(orphan)
             candidates = [
                 member
                 for member, kids in self._children.items()
-                if len(kids) < self.max_fanout and member not in subtree
+                if len(kids) < self.max_fanout
+                and member not in subtree
+                and (
+                    candidate_filter is None
+                    or member == self.root
+                    or candidate_filter(member)
+                )
             ]
             if not candidates:
                 raise TreeError("tree full while re-attaching orphans")
@@ -98,6 +119,8 @@ class DisseminationTree:
             )
             self._children[new_parent].append(orphan)
             self._parent[orphan] = new_parent
+            reparented[orphan] = new_parent
+        return reparented
 
     def _subtree(self, node: NodeId) -> set[NodeId]:
         result = {node}

@@ -324,6 +324,8 @@ class SecondaryTier:
     def _root_handle(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, PullRequest):
+            if payload.object_guid != self.object_guid:
+                return
             update = self._pushed.get(payload.seq)
             if update is not None:
                 self.network.send(
@@ -334,6 +336,24 @@ class SecondaryTier:
                     phase="pull",
                     subsystem="dissemination",
                 )
+        elif isinstance(payload, AntiEntropyRequest):
+            # Catch-up served from the primary tier's pushed log: an
+            # orphan reparented directly under the root ("pull missing
+            # information from parents and primary replicas") streams
+            # everything it missed.
+            if payload.object_guid != self.object_guid:
+                return
+            for seq in sorted(self._pushed):
+                if seq > payload.committed_through:
+                    update = self._pushed[seq]
+                    self.network.send(
+                        self.tree.root,
+                        payload.sender,
+                        CommittedPush(seq=seq, update=update),
+                        size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+                        phase="anti_entropy",
+                        subsystem="dissemination",
+                    )
 
     def add_replica(self, network_id: NodeId, low_bandwidth: bool = False) -> SecondaryReplica:
         replica = SecondaryReplica(network_id, self)
@@ -349,6 +369,24 @@ class SecondaryTier:
         if replica is not None:
             self.network.unsubscribe(network_id, replica.handle)
         self.tree.remove_member(network_id)
+
+    def repair_member_failure(self, network_id: NodeId) -> dict[NodeId, NodeId]:
+        """Remove a *dead* member: orphans reattach under live nodes only.
+
+        Unlike :meth:`remove_replica` (a graceful departure), this is the
+        recovery path: the dead replica's state is unrecoverable, so its
+        record is simply dropped, and orphaned children are reparented
+        with a liveness filter so they never land under another corpse.
+        Returns the ``orphan -> new parent`` mapping so the caller can
+        drive catch-up anti-entropy.
+        """
+        replica = self.replicas.pop(network_id, None)
+        if replica is not None:
+            self.network.unsubscribe(network_id, replica.handle)
+        return self.tree.remove_member(
+            network_id,
+            candidate_filter=lambda member: not self.network.is_down(member),
+        )
 
     # -- tentative path -----------------------------------------------------------
 

@@ -18,6 +18,7 @@ from repro.core.client import make_client
 from repro.core.config import ChaosConfig, DeploymentConfig
 from repro.core.server import OceanStoreServer
 from repro.core.system import OceanStoreSystem, deserialize_state, serialize_state
+from repro.recovery import RecoveryConfig, RetryPolicy
 from repro.core.workloads import (
     DiurnalAccess,
     EmailOp,
@@ -40,6 +41,8 @@ __all__ = [
     "EmailWorkload",
     "OceanStoreServer",
     "OceanStoreSystem",
+    "RecoveryConfig",
+    "RetryPolicy",
     "correlated_trace",
     "deserialize_state",
     "diurnal_trace",

@@ -12,6 +12,7 @@ import random
 from repro.api.oceanstore import OceanStoreHandle
 from repro.core.system import OceanStoreSystem
 from repro.crypto.keys import KeyRing, make_principal
+from repro.recovery.retry import RetryPolicy
 from repro.sim.network import NodeId
 
 
@@ -20,11 +21,14 @@ def make_client(
     name: str,
     home_node: NodeId | None = None,
     seed: int | None = None,
+    retry: RetryPolicy | None = None,
 ) -> OceanStoreHandle:
     """Mint a client identity and attach it to the deployment.
 
     ``home_node`` defaults to a deterministic stub node derived from the
     client name, mimicking "clients connect to one or more pools".
+    ``retry`` installs a default :class:`RetryPolicy` on the handle, so
+    every read runs down the degradation ladder instead of failing fast.
     """
     rng = random.Random(seed if seed is not None else hash(name) & 0xFFFFFFFF)
     principal = make_principal(name, rng, bits=system.config.key_bits)
@@ -38,4 +42,6 @@ def make_client(
         home_node = stubs[rng.randrange(len(stubs))]
     if home_node not in system.graph:
         raise ValueError(f"home node {home_node} not in topology")
-    return OceanStoreHandle(system, principal, keyring, home_node=home_node)
+    return OceanStoreHandle(
+        system, principal, keyring, home_node=home_node, retry=retry
+    )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.recovery.config import RecoveryConfig
 from repro.sim.network import TopologyParams
 from repro.telemetry import TelemetryConfig
 
@@ -30,6 +31,11 @@ class ChaosConfig:
     batch_size: int = 1
     batch_delay_ms: float = 200.0
     pipeline_depth: int = 0
+    #: three-way recovery toggle for scenarios: ``None`` keeps each
+    #: scenario's own default (the new recovery scenarios enable it),
+    #: ``True``/``False`` force it -- forcing it off is how the oracle
+    #: is shown to catch the unrepaired failures
+    recovery: bool | None = None
 
     def __post_init__(self) -> None:
         if self.duration_ms <= 0:
@@ -103,6 +109,11 @@ class DeploymentConfig:
     #: fault-injection scenario knobs; off by default, so ordinary
     #: deployments carry no per-message fault-check overhead
     chaos: ChaosConfig = field(default_factory=ChaosConfig)
+
+    #: self-healing recovery knobs (failure detector, soft-state repair,
+    #: pointer refresh); off by default -- a recovery-disabled deployment
+    #: is byte-identical to one built before the subsystem existed
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
     def __post_init__(self) -> None:
         if self.byzantine_m < 1:

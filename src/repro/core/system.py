@@ -23,6 +23,8 @@ against the full distributed machinery.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import networkx as nx
 
 from repro.access.policy import AccessChecker
@@ -55,6 +57,10 @@ from repro.telemetry import Telemetry
 from repro.util import serialization
 from repro.util.ids import GUID
 from repro.util.rng import SeedSequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recovery.manager import RecoveryManager
+    from repro.recovery.retry import RetryPolicy
 
 
 def serialize_state(state: DataObjectState) -> bytes:
@@ -243,6 +249,29 @@ class OceanStoreSystem:
         self.confidence = ConfidenceEstimator()
         self._callbacks = CallbackRegistry()
 
+        # -- self-healing recovery (detection + soft-state repair) ----------
+        #: None unless ``config.recovery.enabled``: a disabled deployment
+        #: derives no recovery RNG stream, schedules no heartbeats, and
+        #: sends no repair traffic, so its trace stays byte-identical.
+        self.recovery: RecoveryManager | None = None
+        if self.config.recovery.enabled:
+            from repro.recovery.manager import RecoveryManager as _RecoveryManager
+
+            self.recovery = _RecoveryManager(
+                self.kernel,
+                self.network,
+                self.mesh,
+                self.router,
+                self.probabilistic,
+                self.tiers,
+                observer=self.ring_nodes[0],
+                rng=seeds.derive("recovery"),
+                config=self.config.recovery,
+                replica_manager=self.replica_manager,
+                telemetry=self.telemetry,
+            )
+            self.recovery.start()
+
         # -- utility-model accounting (Section 1.1) -------------------------
         from repro.core.accounting import UtilityLedger
 
@@ -261,6 +290,8 @@ class OceanStoreSystem:
         for node in self.ring_nodes:
             self.servers[node].get_or_create_object(object_guid)
             self.location.add_replica(node, object_guid)
+            if self.recovery is not None:
+                self.recovery.register_publication(node, object_guid)
         tier = SecondaryTier(
             self.network,
             object_guid,
@@ -280,6 +311,8 @@ class OceanStoreSystem:
             tier.add_replica(node)
             self.location.add_replica(node, object_guid)
             self.replica_manager.register_replica(object_guid, node)
+            if self.recovery is not None:
+                self.recovery.register_publication(node, object_guid)
         self._object_seq[object_guid] = 0
         self.probabilistic.converge()
 
@@ -322,6 +355,132 @@ class OceanStoreSystem:
                 f"object {object_guid} not yet at version {min_version}"
             )
         return state.copy()
+
+    def read_degraded(
+        self,
+        object_guid: GUID,
+        allow_tentative: bool,
+        min_version: int,
+        client_node: NodeId | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> DataObjectState:
+        """A deadline-budgeted read down the degradation ladder.
+
+        Rungs, in order of increasing desperation:
+
+        1. **local** -- one ordinary two-tier locate from the client
+           (nearby cached replica, then the salted global mesh);
+        2. **salted-retry** -- bounded backoff-and-retry through the
+           salted roots, letting the simulation (and any recovery
+           repair loops) run during each backoff;
+        3. **tentative** -- direct read of a live secondary replica's
+           tentative state, when the session allows tentative data;
+        4. **archival** -- last resort: reconstruct the newest archived
+           version satisfying the session floor from m-of-n fragments.
+
+        Unlike :meth:`read_state`, this path never short-circuits to the
+        primary tier by fiat: the ring is reachable only through the
+        location infrastructure, which is exactly what a wide-area
+        client experiences when pointer state is damaged.
+        """
+        from repro.recovery.retry import RetryPolicy as _RetryPolicy
+
+        if object_guid not in self.tiers:
+            raise UnknownObject(f"no such object: {object_guid}")
+        retry = retry if retry is not None else _RetryPolicy()
+        client = client_node if client_node is not None else self.ring_nodes[0]
+        deadline = self.kernel.now + retry.deadline_ms
+        tel = self.telemetry
+
+        def rung(name: str, result: str, **detail) -> None:
+            if tel.enabled:
+                tel.count("degraded_read_rungs_total", rung=name, result=result)
+                tel.record(
+                    "recovery",
+                    "ladder_rung",
+                    rung=name,
+                    result=result,
+                    object=object_guid,
+                    **detail,
+                )
+
+        def usable(node: NodeId) -> DataObjectState | None:
+            state = self._state_at(object_guid, node, allow_tentative)
+            if state is None or state.version < min_version:
+                return None
+            self._record_read(object_guid, node, client)
+            return state.copy()
+
+        # Rung 1: the ordinary two-tier lookup (local/cached replica).
+        with tel.span("read.degraded", client=client):
+            result = self.location.locate(client, object_guid)
+        state = usable(result.replica_node) if result.found else None
+        if state is not None:
+            rung("local", "hit", node=result.replica_node)
+            return state
+        rung("local", "miss")
+
+        # Rung 2: salted locate retries under the backoff schedule; the
+        # settle between attempts is where detector + repair loops run.
+        for attempt, delay in enumerate(retry.backoff_delays()):
+            if self.kernel.now + delay > deadline:
+                break
+            self.settle(delay)
+            salted = self.router.locate(client, object_guid)
+            if salted.found:
+                state = usable(salted.replica_node)
+                if state is not None:
+                    rung(
+                        "salted-retry",
+                        "hit",
+                        attempt=attempt,
+                        salts_tried=salted.salts_tried,
+                    )
+                    return state
+                rung("salted-retry", "stale", attempt=attempt)
+            else:
+                rung(
+                    "salted-retry",
+                    "miss",
+                    attempt=attempt,
+                    failed_salts=",".join(
+                        f"{f.salt}:{f.reason}" for f in salted.failed_salts
+                    ),
+                )
+
+        # Rung 3: tentative read from any live secondary replica.
+        if allow_tentative:
+            tier = self.tiers[object_guid]
+            for node in sorted(tier.replicas):
+                if self.network.is_down(node):
+                    continue
+                state = tier.replicas[node].tentative_state()
+                if state.version >= min_version:
+                    rung("tentative", "hit", node=node)
+                    self._record_read(object_guid, node, client)
+                    return state.copy()
+            rung("tentative", "miss")
+
+        # Rung 4: archival reconstruction of the newest adequate version.
+        versions = sorted(
+            version
+            for (guid, version) in self._archival_refs
+            if guid == object_guid and version >= min_version
+        )
+        for version in reversed(versions):
+            try:
+                state = self.restore_from_archive(
+                    object_guid, version, client_node=client
+                )
+            except UnknownObject:
+                continue
+            rung("archival", "hit", version=version)
+            return state
+        rung("archival", "miss")
+        raise UnknownObject(
+            f"degraded read of {object_guid} exhausted its ladder within "
+            f"{retry.deadline_ms:.0f}ms"
+        )
 
     def submit_update(self, client_node: NodeId, update: Update) -> None:
         """The Figure 5 path: direct to the primary tier, plus tentative
@@ -625,6 +784,8 @@ class OceanStoreSystem:
             replica = tier.add_replica(target)
             self.location.add_replica(target, decision.object_guid)
             self.replica_manager.register_replica(decision.object_guid, target)
+            if self.recovery is not None:
+                self.recovery.register_publication(target, decision.object_guid)
             partners = [n for n in tier.replicas if n != target]
             if partners:
                 replica.start_anti_entropy(partners[0])
@@ -645,6 +806,11 @@ class OceanStoreSystem:
             self.replica_manager.forget_replica(
                 decision.object_guid, decision.replica_node
             )
+            if self.recovery is not None:
+                # unpublish already scrubbed the live route's pointers
+                self.recovery.forget_publication(
+                    decision.replica_node, decision.object_guid, scrub=False
+                )
         self.probabilistic.converge()
         return decisions
 

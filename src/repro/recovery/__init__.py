@@ -1,0 +1,36 @@
+"""Self-healing recovery: detection, soft-state repair, degradation.
+
+The paper assumes soft state is continuously repaired -- neighbor links
+republished (Section 4.3.4), dissemination trees rebuilt under churn
+(Section 4.4.4), stale pointers aged out.  This package supplies the
+machinery: a seeded-deterministic heartbeat :class:`FailureDetector`,
+:class:`RoutingRepairer` (link eviction + pointer republish + periodic
+refresh), :class:`TreeRepairer` (orphan reparenting + anti-entropy
+catch-up), a :class:`RecoveryManager` tying them to one suspicion
+stream, and the client-side :class:`RetryPolicy` that drives the
+degraded-read ladder in :meth:`repro.core.system.OceanStoreSystem.read_degraded`.
+"""
+
+from repro.recovery.config import RecoveryConfig
+from repro.recovery.detector import (
+    HEARTBEAT_BYTES,
+    FailureDetector,
+    HeartbeatAck,
+    HeartbeatPing,
+)
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.repair import RoutingRepairer
+from repro.recovery.retry import RetryPolicy
+from repro.recovery.treeheal import TreeRepairer
+
+__all__ = [
+    "HEARTBEAT_BYTES",
+    "FailureDetector",
+    "HeartbeatAck",
+    "HeartbeatPing",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RetryPolicy",
+    "RoutingRepairer",
+    "TreeRepairer",
+]

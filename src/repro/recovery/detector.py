@@ -1,0 +1,173 @@
+"""Heartbeat-based failure detection over the simulation kernel.
+
+The paper's soft-state layers (Plaxton neighbor links, dissemination
+trees) all assume *someone* notices a dead server; this is that someone.
+An observer node pings every monitored node on a jittered kernel timer;
+a node that misses ``suspicion_threshold`` consecutive rounds is
+declared *suspected* and registered listeners (routing repair,
+dissemination-tree repair) are notified.  A later ack clears the
+suspicion and fires the restore listeners.
+
+Everything runs through :class:`~repro.sim.network.Network` messages and
+kernel timers, so detection latency is real (pings to a crashed node are
+dropped by the network, acks ride actual links) and the suspicion
+timeline is a deterministic function of the master seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.kernel import Kernel, Timer
+from repro.sim.network import Message, Network, NodeId
+from repro.telemetry import coalesce
+
+#: Wire size of a ping or ack (small control message).
+HEARTBEAT_BYTES = 64
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbeatPing:
+    round_no: int
+    sender: NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbeatAck:
+    round_no: int
+    sender: NodeId
+
+
+class FailureDetector:
+    """One observer's suspicion state over a set of monitored nodes."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        observer: NodeId,
+        monitored: list[NodeId],
+        rng: random.Random,
+        interval_ms: float = 2_000.0,
+        timeout_ms: float = 1_500.0,
+        threshold: int = 2,
+        telemetry=None,
+    ) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.observer = observer
+        self.monitored = sorted(n for n in monitored if n != observer)
+        self.interval_ms = interval_ms
+        self.timeout_ms = timeout_ms
+        self.threshold = threshold
+        self.telemetry = coalesce(telemetry)
+        #: consecutive missed rounds per node
+        self.suspicion: dict[NodeId, int] = {}
+        self.suspected: set[NodeId] = set()
+        #: (virtual time, "suspect"|"restore", node) -- the determinism
+        #: contract: same seed, same timeline
+        self.timeline: list[tuple[float, str, NodeId]] = []
+        self._last_ack: dict[NodeId, int] = {}
+        self._round_no = 0
+        self._on_suspect: list[Callable[[NodeId], None]] = []
+        self._on_restore: list[Callable[[NodeId], None]] = []
+        for node in self.monitored:
+            network.subscribe(node, self._respond)
+        network.subscribe(observer, self._handle_ack)
+        self._timer = Timer(
+            kernel,
+            interval_ms,
+            self._round,
+            jitter=lambda: rng.uniform(0.0, interval_ms * 0.05),
+            label="recovery.heartbeat",
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def on_suspect(self, callback: Callable[[NodeId], None]) -> None:
+        self._on_suspect.append(callback)
+
+    def on_restore(self, callback: Callable[[NodeId], None]) -> None:
+        self._on_restore.append(callback)
+
+    # -- heartbeat rounds -----------------------------------------------------
+
+    def _round(self) -> None:
+        if self.network.is_down(self.observer):
+            return  # a dead observer observes nothing
+        self._round_no += 1
+        round_no = self._round_no
+        for node in self.monitored:
+            self.network.send(
+                self.observer,
+                node,
+                HeartbeatPing(round_no, self.observer),
+                size_bytes=HEARTBEAT_BYTES,
+                phase="heartbeat",
+                subsystem="recovery",
+            )
+        self.kernel.call_after(
+            self.timeout_ms,
+            lambda: self._evaluate(round_no),
+            label="recovery.heartbeat-timeout",
+        )
+        if self.telemetry.enabled:
+            self.telemetry.count("recovery_heartbeat_rounds_total")
+
+    def _respond(self, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, HeartbeatPing):
+            return
+        if payload.sender != self.observer:
+            return
+        self.network.send(
+            message.dst,
+            self.observer,
+            HeartbeatAck(payload.round_no, message.dst),
+            size_bytes=HEARTBEAT_BYTES,
+            phase="heartbeat",
+            subsystem="recovery",
+        )
+
+    def _handle_ack(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, HeartbeatAck):
+            previous = self._last_ack.get(payload.sender, 0)
+            self._last_ack[payload.sender] = max(previous, payload.round_no)
+
+    def _evaluate(self, round_no: int) -> None:
+        if self.network.is_down(self.observer):
+            return
+        tel = self.telemetry
+        for node in self.monitored:
+            if self._last_ack.get(node, 0) >= round_no:
+                self.suspicion[node] = 0
+                if node in self.suspected:
+                    self.suspected.discard(node)
+                    self.timeline.append((self.kernel.now, "restore", node))
+                    if tel.enabled:
+                        tel.count("recovery_restores_total")
+                        tel.record("recovery", "restore", node=node)
+                    for callback in self._on_restore:
+                        callback(node)
+                continue
+            count = self.suspicion.get(node, 0) + 1
+            self.suspicion[node] = count
+            if count >= self.threshold and node not in self.suspected:
+                self.suspected.add(node)
+                self.timeline.append((self.kernel.now, "suspect", node))
+                if tel.enabled:
+                    tel.count("recovery_suspicions_total")
+                    tel.record(
+                        "recovery", "suspect", node=node, missed_rounds=count
+                    )
+                for callback in self._on_suspect:
+                    callback(node)

@@ -1,0 +1,156 @@
+"""Routing soft-state repair: eviction, republish, and pointer refresh.
+
+Section 4.3.4: "the neighbor links of the routing system are redundant,
+soft-state" -- when a neighbor dies, routing fails over to backups and
+the dead link is eventually evicted; location pointers along publish
+paths through the dead node are republished so locates converge on live
+surrogate roots; and pointers are periodically refreshed so stale paths
+age out instead of accumulating forever.
+
+:class:`RoutingRepairer` keeps, per registered publication
+``(replica_node, object_guid)``, the per-salt publish path it last
+deposited pointers along.  On suspicion of a node it (1) evicts the node
+from every neighbor-table entry in the mesh, (2) scrubs and republishes
+every publication whose stored path ran through the dead node, and
+(3) drops publications that were *hosted* on the dead node.  The
+periodic :meth:`refresh` re-walks every publication: scrub the old path,
+publish along the current route, remember the new path.
+"""
+
+from __future__ import annotations
+
+from repro.routing.plaxton import PlaxtonMesh
+from repro.routing.salt import SaltedRouter
+from repro.sim.network import Network, NodeId
+from repro.telemetry import coalesce
+from repro.util.ids import GUID
+
+#: salt index -> publish path last used for that salt
+_SaltPaths = dict[int, tuple[NodeId, ...]]
+
+
+class RoutingRepairer:
+    """Soft-state maintenance for the Plaxton mesh's pointers and links."""
+
+    def __init__(
+        self,
+        mesh: PlaxtonMesh,
+        router: SaltedRouter,
+        network: Network,
+        telemetry=None,
+    ) -> None:
+        self.mesh = mesh
+        self.router = router
+        self.network = network
+        self.telemetry = coalesce(telemetry)
+        self._paths: dict[tuple[NodeId, GUID], _SaltPaths] = {}
+        self.stats_evictions = 0
+        self.stats_republishes = 0
+
+    # -- publication bookkeeping -------------------------------------------
+
+    def register(self, replica_node: NodeId, object_guid: GUID) -> None:
+        """Record the publish paths for a replica already published
+        through the location service, so repair can find them later."""
+        paths: _SaltPaths = {}
+        for i, salted in enumerate(self.router.salted_guids(object_guid)):
+            trace = self.mesh.route_to_root(replica_node, salted)
+            paths[i] = tuple(trace.path)
+        self._paths[(replica_node, object_guid)] = paths
+
+    def forget(
+        self, replica_node: NodeId, object_guid: GUID, scrub: bool = True
+    ) -> None:
+        """Drop a publication; optionally scrub its pointers too."""
+        paths = self._paths.pop((replica_node, object_guid), None)
+        if paths is not None and scrub:
+            self._scrub(replica_node, object_guid, paths)
+
+    def publications(self) -> list[tuple[NodeId, GUID]]:
+        return sorted(self._paths, key=lambda key: (key[0], key[1].value))
+
+    # -- repair actions ------------------------------------------------------
+
+    def on_suspect(self, node: NodeId) -> None:
+        """A node is suspected dead: evict its links, heal its paths."""
+        self.evict(node)
+        for replica_node, object_guid in self.publications():
+            if replica_node == node:
+                # The dead node hosted this replica: its pointers are
+                # lies now; scrub them and forget the publication.
+                self.forget(replica_node, object_guid, scrub=True)
+                continue
+            paths = self._paths[(replica_node, object_guid)]
+            if any(node in path for path in paths.values()):
+                self.republish(replica_node, object_guid)
+
+    def evict(self, node: NodeId) -> None:
+        """Remove a node from every neighbor-table entry in the mesh.
+
+        Routing already *skips* dead neighbors per hop; eviction makes
+        the removal permanent so the table slot is free for a backup.
+        The node's own table is left alone (it is not routing anyway,
+        and a rebuild via ``build_tables`` restores everything).
+        """
+        removed = 0
+        for nid in sorted(self.mesh.nodes):
+            if nid == node:
+                continue
+            for row in self.mesh.nodes[nid].table:
+                for entry in row:
+                    if node in entry:
+                        entry.remove(node)
+                        removed += 1
+        self.stats_evictions += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("recovery_evictions_total")
+            tel.record("recovery", "evict", node=node, links_removed=removed)
+
+    def republish(self, replica_node: NodeId, object_guid: GUID) -> None:
+        """Scrub the stored paths and deposit pointers along fresh routes."""
+        key = (replica_node, object_guid)
+        paths = self._paths.get(key)
+        if paths is None:
+            return
+        if self.network.is_down(replica_node):
+            # Can't republish from a dead host; drop the publication.
+            self.forget(replica_node, object_guid, scrub=True)
+            return
+        self._scrub(replica_node, object_guid, paths)
+        fresh: _SaltPaths = {}
+        for i, salted in enumerate(self.router.salted_guids(object_guid)):
+            trace = self.mesh.publish(replica_node, salted)
+            fresh[i] = tuple(trace.path)
+        self._paths[key] = fresh
+        self.stats_republishes += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("recovery_republishes_total")
+            tel.record(
+                "recovery",
+                "republish",
+                replica=replica_node,
+                object=object_guid,
+                salts=len(fresh),
+            )
+
+    def refresh(self) -> None:
+        """Periodic pointer refresh: re-publish every live publication so
+        stale paths age out (TTL-style soft state)."""
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("recovery_refresh_sweeps_total")
+        for replica_node, object_guid in self.publications():
+            self.republish(replica_node, object_guid)
+
+    # -- internals -----------------------------------------------------------
+
+    def _scrub(
+        self, replica_node: NodeId, object_guid: GUID, paths: _SaltPaths
+    ) -> None:
+        for i, salted in enumerate(self.router.salted_guids(object_guid)):
+            for nid in paths.get(i, ()):
+                node = self.mesh.nodes.get(nid)
+                if node is not None:
+                    node.remove_pointer(salted, replica_node)

@@ -31,7 +31,12 @@ from repro.routing.plaxton import (
     RoutingError,
 )
 from repro.routing.probabilistic import ProbabilisticLocator, QueryResult
-from repro.routing.salt import DEFAULT_SALTS, SaltedLocateResult, SaltedRouter
+from repro.routing.salt import (
+    DEFAULT_SALTS,
+    SaltedLocateResult,
+    SaltedRouter,
+    SaltFailure,
+)
 from repro.routing.service import LocationResult, LocationService, Tier
 
 __all__ = [
@@ -54,6 +59,7 @@ __all__ = [
     "QueryResult",
     "RouteTrace",
     "RoutingError",
+    "SaltFailure",
     "SaltedLocateResult",
     "SaltedRouter",
     "Tier",

@@ -25,12 +25,30 @@ DEFAULT_SALTS = 3
 
 
 @dataclass(frozen=True, slots=True)
+class SaltFailure:
+    """Why one salted root failed to produce the object.
+
+    ``reason`` is ``"routing-error"`` when the climb could not even
+    start or converge (dead start, disconnected mesh) and
+    ``"no-pointer"`` when the climb reached the salt's root without
+    crossing a live pointer (dead root, lost pointers) -- the detail
+    degradation telemetry and chaos dumps use to attribute failovers.
+    """
+
+    salt: int
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
 class SaltedLocateResult:
     found: bool
     replica_node: NodeId | None
     salts_tried: int
     total_hops: int
     total_latency_ms: float
+    #: per-salt failure detail for every salt tried before success (all
+    #: of them, on a miss)
+    failed_salts: tuple[SaltFailure, ...] = ()
 
 
 class SaltedRouter:
@@ -69,10 +87,12 @@ class SaltedRouter:
         """
         total_hops = 0
         total_latency = 0.0
+        failures: list[SaltFailure] = []
         for i, salted in enumerate(self.salted_guids(object_guid)):
             try:
                 result: LocateResult = self.mesh.locate(start, salted)
             except RoutingError:
+                failures.append(SaltFailure(salt=i, reason="routing-error"))
                 continue
             total_hops += result.trace.hops
             total_latency += result.trace.latency_ms
@@ -83,11 +103,14 @@ class SaltedRouter:
                     salts_tried=i + 1,
                     total_hops=total_hops,
                     total_latency_ms=total_latency,
+                    failed_salts=tuple(failures),
                 )
+            failures.append(SaltFailure(salt=i, reason="no-pointer"))
         return SaltedLocateResult(
             found=False,
             replica_node=None,
             salts_tried=self.salts,
             total_hops=total_hops,
             total_latency_ms=total_latency,
+            failed_salts=tuple(failures),
         )

@@ -28,7 +28,12 @@ BYZANTINE_SCENARIOS = (
     "pbft-corrupt",
 )
 
-ALL_SCENARIOS = BYZANTINE_SCENARIOS + (
+RECOVERY_SCENARIOS = (
+    "orphaned-subtree",
+    "dead-root-read",
+)
+
+ALL_SCENARIOS = BYZANTINE_SCENARIOS + RECOVERY_SCENARIOS + (
     "pbft-quorum-violation",
     "routing-churn",
     "dissemination-loss",
@@ -108,6 +113,50 @@ def test_archival_scenario_checks_reconstruction_not_routing():
     checked = set(report.invariants.checked)
     assert "archival-reconstruction" in checked
     assert "routing-reconvergence" not in checked
+
+
+# ---------------------------------------------------------------------------
+# Self-healing recovery: scenarios that pass only because repair runs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", RECOVERY_SCENARIOS)
+def test_recovery_scenarios_pass_with_recovery_on(name, seed):
+    report = run_scenario(name, seed=seed)
+    assert report.passed, report.render(include_trace=True)
+    assert report.invariants.violated_names() == set()
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    (
+        ("orphaned-subtree", {"dissemination-convergence"}),
+        ("dead-root-read", {"routing-reconvergence"}),
+    ),
+)
+def test_recovery_scenarios_fail_with_recovery_off(name, expected):
+    """The adversarial acceptance: the same fault schedule with repair
+    forced off must trip the oracle -- proof the scenarios pass *because*
+    recovery runs, not because the faults were toothless."""
+    report = run_scenario(name, seed=0, chaos=ChaosConfig(recovery=False))
+    assert not report.passed, report.render(include_trace=True)
+    assert expected <= report.invariants.violated_names()
+
+
+@pytest.mark.parametrize("name", RECOVERY_SCENARIOS)
+def test_recovery_scenarios_replay_bit_identically(name):
+    first = run_scenario(name, seed=17)
+    second = run_scenario(name, seed=17)
+    assert first.trace_digest == second.trace_digest
+    assert first.events == second.events
+
+
+def test_recovery_run_records_repair_events_in_flight():
+    report = run_scenario("orphaned-subtree", seed=0, capture_flight=True)
+    assert report.passed, report.render(include_trace=True)
+    assert "suspect" in report.flight_dump
+    assert "reparent" in report.flight_dump
 
 
 # ---------------------------------------------------------------------------

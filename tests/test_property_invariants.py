@@ -293,6 +293,71 @@ def test_fault_interleavings_never_break_version_logs_or_location(seed, ops):
 
 @given(
     seed=st.integers(min_value=0, max_value=1_000),
+    ops=st.lists(st.sampled_from(("crash", "revive")), min_size=0, max_size=8),
+)
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_degraded_read_survives_any_crash_schedule(seed, ops):
+    """Under any crash/revive schedule that leaves the quorum live (ring
+    nodes are never touched, so at least one replica always survives), a
+    deadline-budgeted degraded read must succeed within its budget and
+    must never return a version older than the session floor."""
+    from repro.core import RecoveryConfig, RetryPolicy
+
+    config = DeploymentConfig(
+        seed=seed,
+        topology=TopologyParams(
+            transit_nodes=4, stubs_per_transit=1, nodes_per_stub=2
+        ),
+        secondaries_per_object=2,
+        archival_k=2,
+        archival_n=4,
+        recovery=RecoveryConfig(
+            enabled=True,
+            heartbeat_interval_ms=1_000.0,
+            heartbeat_timeout_ms=600.0,
+            suspicion_threshold=2,
+            refresh_interval_ms=10_000.0,
+        ),
+    )
+    system = OceanStoreSystem(config)
+    client = make_client(system, "prop-client", seed=seed + 1)
+    handle = client.create_object("prop-degraded")
+    floor = 0
+    for i in range(2):
+        result = client.write(handle, b"survivable %d" % i)
+        assert result.committed
+        floor = result.new_version
+    system.settle()
+
+    rng = random.Random(seed)
+    candidates = sorted(set(system.servers) - set(system.ring_nodes))
+    for op in ops:
+        _apply_fault(system, rng, op, candidates)
+        system.settle(3_000.0)
+
+    reader = next(
+        n
+        for n in sorted(system.network.nodes())
+        if not system.network.is_down(n)
+    )
+    policy = RetryPolicy(
+        deadline_ms=60_000.0, max_attempts=4, backoff_base_ms=2_000.0,
+        seed=seed,
+    )
+    start = system.kernel.now
+    state = system.read_degraded(
+        handle.guid,
+        allow_tentative=True,
+        min_version=floor,
+        client_node=reader,
+        retry=policy,
+    )
+    assert state.version >= floor
+    assert system.kernel.now - start <= policy.deadline_ms
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
     ops=st.lists(st.sampled_from(("crash", "revive")), min_size=2, max_size=12),
 )
 @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])

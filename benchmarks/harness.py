@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import random
 import sys
 import time
 from typing import Callable
@@ -46,6 +47,15 @@ from repro.core import (  # noqa: E402
     RetryPolicy,
     make_client,
 )
+from repro.consistency.pbft import FaultMode  # noqa: E402
+from repro.crypto.keys import make_principal  # noqa: E402
+from repro.data import (  # noqa: E402
+    AppendBlock,
+    TruePredicate,
+    UpdateBranch,
+    make_update,
+)
+from repro.naming import object_guid  # noqa: E402
 from repro.sim import LinkFaultRule, TopologyParams  # noqa: E402
 from repro.util.benchjson import (  # noqa: E402
     append_run,
@@ -339,6 +349,132 @@ def bench_archival(seed: int, fast: bool) -> BenchResult:
             "k": system.config.archival_k,
             "n": system.config.archival_n,
         },
+    )
+
+
+def _ring_scaling_rate(
+    seed: int, ring_count: int, updates_per_shard: int
+) -> dict[str, float]:
+    """Aggregate committed-updates/sec for one sharded deployment.
+
+    The topology is held fixed (32 transit nodes, enough for eight
+    4-replica rings) so the only variable across runs is how many
+    independent inner rings partition the GUID space.  The fault budget
+    is fixed too: one SILENT (crashed-quiet) non-leader replica per
+    ring, which every ring tolerates at m=1 without view changes.
+    """
+    system = OceanStoreSystem(
+        DeploymentConfig(
+            seed=seed,
+            ring_count=ring_count,
+            topology=TopologyParams(
+                transit_nodes=32, stubs_per_transit=1, nodes_per_stub=2
+            ),
+            archive_every_commit=False,
+            secondaries_per_object=2,
+            # One agreement round in flight per ring: each ring's queue
+            # drains serially, so aggregate throughput is bounded by
+            # ring-level parallelism rather than round pipelining.
+            pipeline_depth=1,
+        )
+    )
+    for shard in system.rings.shards:
+        shard.ring.set_fault(shard.ring.n - 1, FaultMode.SILENT)
+    author = make_principal(
+        "bench-ring-author", random.Random(seed + 101), bits=256
+    )
+    # One object per shard, found by deterministic name search: the
+    # workload exercises every ring, not whichever shard the hash of a
+    # single name happens to land in.
+    guid_by_shard: dict[int, object] = {}
+    name_index = 0
+    while len(guid_by_shard) < ring_count:
+        guid = object_guid(author.public_key, f"bench-ring-{name_index}")
+        name_index += 1
+        shard_id = system.rings.shard_of(guid).shard_id
+        if shard_id in guid_by_shard:
+            continue
+        guid_by_shard[shard_id] = guid
+        system.create_object(guid)
+    system.settle()
+    stubs = sorted(
+        n for n, d in system.graph.nodes(data=True) if d["kind"] == "stub"
+    )
+    pending: dict[bytes, object] = {}
+    start_ms = system.kernel.now
+    # All updates go in up front, each shard's from its own stub client;
+    # the rings drain them concurrently in simulated time, so aggregate
+    # throughput reflects real parallelism rather than one client's
+    # uplink feeding one ring at a time.
+    for shard_id in sorted(guid_by_shard):
+        client = stubs[shard_id % len(stubs)]
+        guid = guid_by_shard[shard_id]
+        for i in range(updates_per_shard):
+            update = make_update(
+                author,
+                guid,
+                [
+                    UpdateBranch(
+                        TruePredicate(),
+                        (AppendBlock(f"shard-{shard_id}-u{i}".encode() * 8),),
+                    )
+                ],
+                float(i),
+            )
+            system.submit_update(client, update)
+            pending[update.update_id] = guid
+    def _executed(update_id: bytes, guid) -> bool:
+        ring = system.rings.ring_for(guid)
+        return any(
+            update_id in r.executed_updates
+            for r in ring.replicas
+            if r.fault_mode is FaultMode.HONEST
+        )
+
+    for _ in range(600):
+        system.settle(100.0)
+        if all(_executed(uid, guid) for uid, guid in pending.items()):
+            break
+    committed = sum(
+        int(_executed(uid, guid)) for uid, guid in pending.items()
+    )
+    elapsed_s = (system.kernel.now - start_ms) / 1000.0
+    return {
+        "committed": committed,
+        "submitted": len(pending),
+        "sim_time_ms": round(system.kernel.now - start_ms, 1),
+        "per_sec": round(committed / elapsed_s, 3) if elapsed_s else 0.0,
+    }
+
+
+@bench("ring_scaling")
+def bench_ring_scaling(seed: int, fast: bool) -> BenchResult:
+    """Committed-updates/sec vs control-plane ring count (sharding win)."""
+    ring_counts = (1, 4) if fast else (1, 2, 4, 8)
+    updates_per_shard = 12
+    metrics: dict[str, float] = {"updates_per_shard": updates_per_shard}
+    series: dict[str, object] = {}
+    rates: dict[int, float] = {}
+    for ring_count in ring_counts:
+        sample = _ring_scaling_rate(seed, ring_count, updates_per_shard)
+        rates[ring_count] = sample["per_sec"]
+        metrics[f"committed_r{ring_count}"] = sample["committed"]
+        metrics[f"committed_per_sec_r{ring_count}"] = sample["per_sec"]
+        metrics[f"sim_time_ms_r{ring_count}"] = sample["sim_time_ms"]
+        series[f"rings_{ring_count}"] = sample
+    if rates.get(1):
+        # The headline number: aggregate throughput at four rings as a
+        # multiple of the single global ring (ideal: 4.0).
+        metrics["speedup_r4"] = round(rates[4] / rates[1], 3)
+    return BenchResult(
+        metrics,
+        config={
+            "ring_counts": list(ring_counts),
+            "updates_per_shard": updates_per_shard,
+            "topology": "32x1x2",
+            "fault_budget": "one SILENT non-leader replica per ring",
+        },
+        series=series,
     )
 
 

@@ -22,7 +22,16 @@ exactly when the promises survive the injected faults:
   (Section 4.3.3: the location mesh's soft state must reconverge);
 * **archival-reconstruction** -- every archived version is still
   reconstructible from any k of its surviving fragments (Section 4.5's
-  "retrieved correctly and completely, or not at all" erasure property).
+  "retrieved correctly and completely, or not at all" erasure property);
+* **ring-epoch-ownership** -- in a sharded control plane, the GUID-range
+  shards partition the space exactly (no gaps, no overlaps), every
+  shard's directory entry agrees with its live epoch and membership,
+  memberships are disjoint, each current ring retains a live honest
+  quorum, every dissemination-tree root is a member of the owning ring,
+  and retired epochs stay strictly below the current one (the fence).
+  Checked only when ``ring_count > 1``: a single-ring deployment has no
+  ownership structure to break, and skipping it preserves pre-sharding
+  chaos digests bit-for-bit.
 
 The checker never mutates the system; reconvergence of soft state
 (Bloom refresh, revives) is the *scenario's* job before it asks for a
@@ -39,6 +48,7 @@ from repro.archival.fragments import reconstruct_archival
 from repro.archival.reed_solomon import CodingError
 from repro.consistency.pbft import FaultMode, InnerRing
 from repro.data.version_log import VersionLog
+from repro.rings.sharding import GUID_SPACE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import OceanStoreSystem
@@ -188,6 +198,7 @@ class InvariantChecker:
         "version-monotonicity",
         "routing-reconvergence",
         "archival-reconstruction",
+        "ring-epoch-ownership",
     )
 
     def __init__(self, system: "OceanStoreSystem") -> None:
@@ -210,25 +221,169 @@ class InvariantChecker:
         skipped = set(skip)
         if not expect_liveness:
             skipped.add("liveness")
+        if not self.system.rings.sharded:
+            # Single-ring deployments have no ownership structure; the
+            # skip also keeps their reports (and chaos trace digests)
+            # identical to the pre-sharding implementation.
+            skipped.add("ring-epoch-ownership")
         checked = [name for name in self.ALL if name not in skipped]
         violations: list[InvariantViolation] = []
         if "agreement-safety" in checked:
-            violations += check_ring_agreement(self.system.ring)
+            # Safety is forever: retired epochs are checked too.
+            for ring in self.system.rings.all_rings_ever():
+                violations += check_ring_agreement(ring)
         if "quorum-feasibility" in checked:
-            violations += check_ring_quorum(self.system.ring)
+            for ring in self.system.rings.rings():
+                violations += check_ring_quorum(ring)
         if "liveness" in checked:
-            violations += check_ring_liveness(
-                self.system.ring, expected_update_ids
-            )
+            if self.system.rings.sharded:
+                violations += self.check_sharded_liveness(expected_update_ids)
+            else:
+                violations += check_ring_liveness(
+                    self.system.ring, expected_update_ids
+                )
         if "version-monotonicity" in checked:
             violations += self.check_version_monotonicity()
         if "routing-reconvergence" in checked:
             violations += self.check_routing_reconvergence()
         if "archival-reconstruction" in checked:
             violations += self.check_archival_reconstruction(rng)
+        if "ring-epoch-ownership" in checked:
+            violations += self.check_ring_ownership()
         return InvariantReport(
             checked=tuple(checked), violations=tuple(violations)
         )
+
+    def check_sharded_liveness(
+        self, expected_update_ids: Iterable[bytes]
+    ) -> list[InvariantViolation]:
+        """Every expected update executed somewhere authoritative.
+
+        In a sharded deployment an update is live when *some* epoch's
+        ring (current or retired -- commits before a handoff live in the
+        old ring's replicas) executed it on every honest member that is
+        still reachable; members crashed by the network stay honest but
+        can answer nothing, so they are exempt.
+        """
+        violations = []
+        network = self.system.network
+        rings = self.system.rings.all_rings_ever()
+        for update_id in expected_update_ids:
+            satisfied = False
+            for ring in rings:
+                reachable = [
+                    r
+                    for r in ring.replicas
+                    if r.fault_mode is FaultMode.HONEST
+                    and not network.is_down(r.network_id)
+                ]
+                if reachable and all(
+                    update_id in r.executed_updates for r in reachable
+                ):
+                    satisfied = True
+                    break
+            if not satisfied:
+                violations.append(
+                    InvariantViolation(
+                        "liveness",
+                        f"update {update_id[:4].hex()} not fully executed "
+                        f"by any epoch's ring",
+                    )
+                )
+        return violations
+
+    def check_ring_ownership(self) -> list[InvariantViolation]:
+        """Every GUID owned by exactly one ring epoch (sharded only)."""
+        violations = []
+
+        def fail(detail: str) -> None:
+            violations.append(
+                InvariantViolation("ring-epoch-ownership", detail)
+            )
+
+        provider = self.system.rings
+        network = self.system.network
+        shards = provider.shards
+
+        # 1. The ranges partition [0, 2^160) exactly.
+        if shards[0].range.low != 0:
+            fail(f"first range starts at {shards[0].range.low:#x}, not 0")
+        if shards[-1].range.high != GUID_SPACE:
+            fail("last range does not reach the top of the GUID space")
+        for left, right in zip(shards, shards[1:]):
+            if left.range.high != right.range.low:
+                fail(
+                    f"gap/overlap between shard {left.shard_id} and "
+                    f"{right.shard_id}: {left.range.describe()} vs "
+                    f"{right.range.describe()}"
+                )
+
+        # 2. Directory entries agree with the live epoch + membership.
+        for shard in shards:
+            entry = provider.directory.entry(shard.shard_id)
+            if entry.epoch != shard.epoch:
+                fail(
+                    f"shard {shard.shard_id}: directory at epoch "
+                    f"{entry.epoch}, provider at {shard.epoch}"
+                )
+            if tuple(entry.members) != tuple(shard.members):
+                fail(
+                    f"shard {shard.shard_id}: directory membership "
+                    f"{list(entry.members)} != live {list(shard.members)}"
+                )
+
+        # 3. Memberships are disjoint: no node serves two rings.
+        owner: dict = {}
+        for shard in shards:
+            for member in shard.members:
+                if member in owner:
+                    fail(
+                        f"node {member} serves both shard {owner[member]} "
+                        f"and shard {shard.shard_id}"
+                    )
+                owner[member] = shard.shard_id
+
+        # 4. Each current ring retains a live honest quorum -- a range
+        # below quorum is effectively orphaned (no one can commit it).
+        for shard in shards:
+            live = sum(
+                1
+                for replica in shard.ring.replicas
+                if replica.fault_mode is FaultMode.HONEST
+                and not network.is_down(replica.network_id)
+            )
+            if live < shard.ring.quorum:
+                fail(
+                    f"shard {shard.shard_id} epoch {shard.epoch}: only "
+                    f"{live} live honest members < quorum "
+                    f"{shard.ring.quorum}; range {shard.range.describe()} "
+                    f"is orphaned"
+                )
+
+        # 5. Every created object resolves into exactly one shard, and
+        # its dissemination root is a member of that shard's ring.
+        for guid in self.system.tiers:
+            holders = [s.shard_id for s in shards if guid in s.range]
+            if len(holders) != 1:
+                fail(f"object {guid} owned by shards {holders}, not one")
+                continue
+            root = self.system.tiers[guid].tree.root
+            members = shards[holders[0]].members
+            if root not in members:
+                fail(
+                    f"object {guid}: tree root {root} is not a member of "
+                    f"owning shard {holders[0]} ({list(members)})"
+                )
+
+        # 6. Retired epochs stay strictly below the current epoch.
+        for shard in shards:
+            for epoch, _ in shard.retired:
+                if epoch >= shard.epoch:
+                    fail(
+                        f"shard {shard.shard_id}: retired epoch {epoch} "
+                        f">= current {shard.epoch}"
+                    )
+        return violations
 
     def check_version_monotonicity(self) -> list[InvariantViolation]:
         violations = []
@@ -263,7 +418,7 @@ class InvariantChecker:
         stride = max(1, len(live_nodes) // sample_starts)
         starts = live_nodes[::stride][:sample_starts]
         for guid in self.system.tiers:
-            holders = set(self.system.ring_nodes) | set(
+            holders = set(self.system.rings.members_for(guid)) | set(
                 self.system.tiers[guid].replicas
             )
             live_holders = {n for n in holders if not network.is_down(n)}

@@ -257,7 +257,10 @@ def _submit_until_executed(
             + (f" (retry {attempt})" if attempt else "")
         )
         ctx.system.settle(settle_ms)
-        if _ring_executed(ctx.system.ring, update.update_id):
+        # The ring responsible for this update's GUID; at ring_count=1
+        # this is exactly ``system.ring``.
+        ring = ctx.system.rings.ring_for(update.object_guid)
+        if _ring_executed(ring, update.update_id):
             ctx.event(f"update {short_id} executed by the honest ring")
             return True
     ctx.event(f"update {short_id} NOT executed after {attempts} attempts")
@@ -722,6 +725,147 @@ def _archival_crash_repair(ctx: ChaosContext) -> None:
     # survivors alone.  Routing is exercised by routing-churn instead.
     ctx.skip_invariants.add("routing-reconvergence")
     ctx.event("leaving crashed nodes down for the survivor-only check")
+
+
+# -- sharded control plane ---------------------------------------------------
+
+
+def _objects_per_shard(ctx: ChaosContext, author, base: str) -> list[GUID]:
+    """One object per shard, found by deterministic name search."""
+    system = ctx.system
+    assert system is not None
+    found: dict[int, GUID] = {}
+    i = 0
+    while len(found) < system.rings.ring_count:
+        guid = object_guid(author.public_key, f"{base}-{i}")
+        shard_id = system.rings.shard_of(guid).shard_id
+        if shard_id not in found:
+            found[shard_id] = guid
+            system.create_object(guid)
+            ctx.event(
+                f"object {base}-{i} created in shard {shard_id} as {guid}"
+            )
+        i += 1
+    return [found[s] for s in sorted(found)]
+
+
+@scenario("cross-shard-partition")
+def _cross_shard_partition(ctx: ChaosContext) -> None:
+    """Partition the two shards' rings from each other mid-write: each
+    ring must keep committing its own GUID range independently."""
+    system = _standard_system(
+        ctx,
+        ring_count=2,
+        topology=TopologyParams(
+            transit_nodes=8, stubs_per_transit=1, nodes_per_stub=3
+        ),
+    )
+    author = _make_author(ctx)
+    guids = _objects_per_shard(ctx, author, "cross-shard")
+    system.settle()
+    client = _client_node(ctx)
+    for i, guid in enumerate(guids):
+        update = _build_update(
+            author, guid, f"before-partition-{i}".encode(), ts=float(i + 1)
+        )
+        ctx.expected_update_ids.append(update.update_id)
+        _submit_until_executed(ctx, client, update)
+
+    shard_a, shard_b = system.rings.shards
+    system.network.add_partition(set(shard_a.members), set(shard_b.members))
+    ctx.event(
+        f"partitioned ring {shard_a.members} from ring {shard_b.members}"
+    )
+    # Both shards must make progress while unable to talk to each other:
+    # agreement is per-ring, so the partition between rings is invisible
+    # to clients of either range.
+    for i, guid in enumerate(guids):
+        update = _build_update(
+            author, guid, f"during-partition-{i}".encode(), ts=float(i + 10)
+        )
+        ctx.expected_update_ids.append(update.update_id)
+        _submit_until_executed(ctx, client, update)
+    system.network.heal_partitions()
+    ctx.event("partition healed")
+    system.settle()
+    system.probabilistic.converge()
+    for row in system.rings.commit_stats():
+        ctx.event(
+            f"shard {row['shard']} epoch {row['epoch']}: "
+            f"{row['committed']} committed"
+        )
+
+
+@scenario("mid-handoff-crash")
+def _mid_handoff_crash(ctx: ChaosContext) -> None:
+    """Crash a ring member, then the handoff coordinator mid-transfer:
+    the watchdog must re-elect at a higher epoch and finish the handoff
+    (with recovery disabled there is no handoff and the oracle fails)."""
+    system = _standard_system(
+        ctx,
+        ring_count=2,
+        topology=TopologyParams(
+            transit_nodes=12, stubs_per_transit=1, nodes_per_stub=2
+        ),
+        recovery=_recovery_config(ctx),
+    )
+    if system.handoff is not None:
+        # A wide drain window so the coordinator crash below lands while
+        # the first handoff attempt is still in flight, and a short
+        # watchdog so the retry happens within the scenario budget.
+        system.handoff.drain_ms = 4_000.0
+        system.handoff.timeout_ms = 8_000.0
+    author = _make_author(ctx)
+    guids = _objects_per_shard(ctx, author, "handoff")
+    system.settle()
+    client = _client_node(ctx)
+    for i, guid in enumerate(guids):
+        update = _build_update(
+            author, guid, f"pre-crash-{i}".encode(), ts=float(i + 1)
+        )
+        ctx.expected_update_ids.append(update.update_id)
+        _submit_until_executed(ctx, client, update)
+
+    shard = system.rings.shards[1]
+    first_victim = shard.members[-1]
+    coordinator = shard.members[0]
+    system.injector.crash(first_victim)
+    if system.handoff is not None:
+        for _ in range(40):
+            system.settle(500.0)
+            if system.handoff.is_active(1):
+                break
+        ctx.event(
+            "handoff active for shard 1; crashing its coordinator "
+            f"(node {coordinator}) mid-transfer"
+        )
+    else:
+        system.settle(6_000.0)
+        ctx.event(
+            f"no handoff manager (recovery off); crashing node {coordinator}"
+        )
+    system.injector.crash(coordinator)
+    system.settle(60_000.0)
+
+    # Progress after the dust settles: both shards must still commit.
+    for i, guid in enumerate(guids):
+        update = _build_update(
+            author, guid, f"post-recovery-{i}".encode(), ts=float(i + 20)
+        )
+        ctx.expected_update_ids.append(update.update_id)
+        _submit_until_executed(ctx, client, update, attempts=2, settle_ms=10_000.0)
+    for row in system.rings.commit_stats():
+        ctx.event(
+            f"shard {row['shard']} epoch {row['epoch']} members "
+            f"{row['members']}: {row['committed']} committed, retired "
+            f"epochs {row['retired_epochs']}"
+        )
+    if system.handoff is not None:
+        ctx.event(
+            f"handoffs completed: {system.handoff.stats_handoffs}, "
+            f"retries: {system.handoff.stats_retries}, fenced commits: "
+            f"{system.rings.stats_fenced_commits}"
+        )
 
 
 # -- the runner --------------------------------------------------------------

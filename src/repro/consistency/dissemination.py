@@ -122,6 +122,23 @@ class DisseminationTree:
             reparented[orphan] = new_parent
         return reparented
 
+    def repoint_root(self, new_root: NodeId) -> None:
+        """Relabel the root: the tree now hangs off a new primary contact.
+
+        Used by ring-membership handoff when the shard's old contact is
+        gone.  The new contact must not already be a tree member (ring
+        nodes are never secondaries), so this is a pure relabel -- every
+        subtree keeps its shape.
+        """
+        if new_root == self.root:
+            return
+        if new_root in self._children:
+            raise TreeError(f"{new_root} is already a tree member")
+        self._children[new_root] = self._children.pop(self.root)
+        for child in self._children[new_root]:
+            self._parent[child] = new_root
+        self.root = new_root
+
     def _subtree(self, node: NodeId) -> set[NodeId]:
         result = {node}
         stack = [node]

@@ -1318,6 +1318,7 @@ class InnerRing:
         batch_size: int = 1,
         batch_delay_ms: float = 0.0,
         pipeline_depth: int = 0,
+        subscribe_handlers: bool = False,
     ) -> None:
         if len(replica_nodes) != 3 * m + 1 and not allow_unsafe_size:
             raise ValueError(
@@ -1352,7 +1353,13 @@ class InnerRing:
             for i, (node, principal) in enumerate(zip(replica_nodes, principals))
         ]
         for replica in self.replicas:
-            network.register(replica.network_id, replica.handle)
+            if subscribe_handlers:
+                # A ring installed mid-run (membership handoff) must not
+                # clobber handlers other subsystems -- failure detector,
+                # dissemination tier -- already hold on these nodes.
+                network.subscribe(replica.network_id, replica.handle)
+            else:
+                network.register(replica.network_id, replica.handle)
         #: optional ACL check every honest replica runs on client requests
         self.authorizer: Callable[[Update], bool] | None = None
         self._execute_callbacks: list[Callable[[PBFTReplica, int, Update], None]] = []

@@ -355,6 +355,20 @@ class SecondaryTier:
                         subsystem="dissemination",
                     )
 
+    def repoint_root(self, new_root: NodeId) -> None:
+        """Move the tree root to a new primary-tier contact.
+
+        Ring-membership handoff calls this when the shard's old contact
+        node left the membership (or died): the pushed-update log and the
+        whole tree shape survive, only the root mailbox moves.
+        """
+        old_root = self.tree.root
+        if new_root == old_root:
+            return
+        self.network.unsubscribe(old_root, self._root_handle)
+        self.tree.repoint_root(new_root)
+        self.network.subscribe(new_root, self._root_handle)
+
     def add_replica(self, network_id: NodeId, low_bandwidth: bool = False) -> SecondaryReplica:
         replica = SecondaryReplica(network_id, self)
         self.replicas[network_id] = replica

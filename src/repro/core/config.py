@@ -69,6 +69,12 @@ class DeploymentConfig:
     #: transit (well-connected) nodes.
     byzantine_m: int = 1
 
+    #: control-plane shards: the GUID space is range-partitioned across
+    #: this many independent inner rings (each 3m+1 replicas).  1 keeps
+    #: the single global ring, byte-identical to the pre-sharding
+    #: implementation.
+    ring_count: int = 1
+
     #: PBFT request batching (Castro-Liskov): updates per agreement
     #: round.  1 keeps the classic one-round-per-update protocol,
     #: wire-identical to the unbatched implementation.
@@ -118,6 +124,8 @@ class DeploymentConfig:
     def __post_init__(self) -> None:
         if self.byzantine_m < 1:
             raise ValueError("byzantine_m must be >= 1")
+        if self.ring_count < 1:
+            raise ValueError("ring_count must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if self.batch_delay_ms < 0:

@@ -45,6 +45,9 @@ from repro.data.update import DataObjectState, Update, UpdateOutcome
 from repro.introspect.confidence import ConfidenceEstimator
 from repro.introspect.events import Event
 from repro.introspect.replica_mgmt import DecisionKind, ReplicaManager
+from repro.rings.directory import RingDescriptor, RingDirectory
+from repro.rings.provider import RingProvider, RingShard
+from repro.rings.sharding import shard_ranges
 from repro.routing.plaxton import PlaxtonMesh
 from repro.routing.probabilistic import ProbabilisticLocator
 from repro.routing.salt import SaltedRouter
@@ -61,6 +64,7 @@ from repro.util.rng import SeedSequence
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.recovery.manager import RecoveryManager
     from repro.recovery.retry import RetryPolicy
+    from repro.rings.handoff import HandoffManager
 
 
 def serialize_state(state: DataObjectState) -> bytes:
@@ -181,35 +185,76 @@ class OceanStoreSystem:
         )
 
         # -- consistency ---------------------------------------------------------
-        transit_nodes = [
+        transit_nodes = sorted(
             n for n, d in self.graph.nodes(data=True) if d["kind"] == "transit"
-        ]
-        if len(transit_nodes) < self.config.ring_size:
-            raise ValueError(
-                f"topology has {len(transit_nodes)} transit nodes; the inner "
-                f"ring needs {self.config.ring_size}"
-            )
-        self.ring_nodes = sorted(transit_nodes)[: self.config.ring_size]
-        self.ring = InnerRing(
-            self.kernel,
-            self.network,
-            self.ring_nodes,
-            [self.servers[n].principal for n in self.ring_nodes],
-            m=self.config.byzantine_m,
-            telemetry=self.telemetry,
-            batch_size=self.config.batch_size,
-            batch_delay_ms=self.config.batch_delay_ms,
-            pipeline_depth=self.config.pipeline_depth,
         )
-        self.ring.authorizer = self._authorize
-        self.ring.on_execute(self._on_execute)
-        self.ring.on_certificate(self._on_certificate)
-
+        ring_size = self.config.ring_size
+        ring_count = self.config.ring_count
+        if len(transit_nodes) < ring_size * ring_count:
+            raise ValueError(
+                f"topology has {len(transit_nodes)} transit nodes; "
+                f"{ring_count} inner ring(s) need {ring_size * ring_count}"
+            )
         self.tiers: dict[GUID, SecondaryTier] = {}
         self._outcomes: dict[bytes, UpdateOutcome] = {}
-        self._cert_buffer: dict[int, CommitCertificate] = {}
-        self._next_cert_seq = 0
+        #: per-(shard, epoch) commit-certificate reordering buffers; the
+        #: epoch in the key is the fence that keeps a retired ring's
+        #: certificates from ever reaching delivery
+        self._cert_buffer: dict[tuple[int, int], dict[int, CommitCertificate]] = {}
+        self._next_cert_seq: dict[tuple[int, int], int] = {}
         self._object_seq: dict[GUID, int] = {}
+
+        # The GUID space is range-partitioned over ``ring_count``
+        # independent inner rings, each on its own slice of the transit
+        # core; the directory publishes who owns what.  A single-ring
+        # deployment builds exactly the pre-sharding structure: one ring
+        # on the first ring_size transit nodes, a mesh-less directory,
+        # and a provider that resolves without lookups.
+        ranges = shard_ranges(ring_count)
+        self.ring_directory = RingDirectory(
+            self.network,
+            mesh=self.mesh if ring_count > 1 else None,
+            telemetry=self.telemetry,
+        )
+        shards: list[RingShard] = []
+        for shard_id in range(ring_count):
+            members = transit_nodes[
+                shard_id * ring_size : (shard_id + 1) * ring_size
+            ]
+            ring = InnerRing(
+                self.kernel,
+                self.network,
+                members,
+                [self.servers[n].principal for n in members],
+                m=self.config.byzantine_m,
+                telemetry=self.telemetry,
+                batch_size=self.config.batch_size,
+                batch_delay_ms=self.config.batch_delay_ms,
+                pipeline_depth=self.config.pipeline_depth,
+            )
+            self.wire_ring(shard_id, 0, ring)
+            shards.append(
+                RingShard(
+                    shard_id=shard_id,
+                    range=ranges[shard_id],
+                    epoch=0,
+                    ring=ring,
+                    members=list(members),
+                )
+            )
+            self.ring_directory.install(
+                RingDescriptor(
+                    shard_id=shard_id,
+                    range=ranges[shard_id],
+                    epoch=0,
+                    members=tuple(members),
+                )
+            )
+        self.rings = RingProvider(shards, self.ring_directory)
+        #: shard-0 aliases for the long tail of callers that predate
+        #: sharding; a shard-0 membership handoff re-targets them
+        self.ring = shards[0].ring
+        self.ring_nodes = list(shards[0].members)
 
         # -- access control -----------------------------------------------------
         self.access = AccessChecker()
@@ -272,6 +317,17 @@ class OceanStoreSystem:
             )
             self.recovery.start()
 
+        # -- ring-membership handoff ----------------------------------------
+        #: deterministic election + state transfer when a ring member is
+        #: suspected dead; only sharded deployments with the failure
+        #: detector running can observe member death and react
+        self.handoff: "HandoffManager | None" = None
+        if ring_count > 1 and self.recovery is not None:
+            from repro.rings.handoff import HandoffManager as _HandoffManager
+
+            self.handoff = _HandoffManager(self)
+            self.handoff.wire(self.recovery.detector)
+
         # -- utility-model accounting (Section 1.1) -------------------------
         from repro.core.accounting import UtilityLedger
 
@@ -287,7 +343,8 @@ class OceanStoreSystem:
     def create_object(self, object_guid: GUID) -> None:
         if object_guid in self.tiers:
             return
-        for node in self.ring_nodes:
+        shard = self.rings.resolve(object_guid)
+        for node in shard.members:
             self.servers[node].get_or_create_object(object_guid)
             self.location.add_replica(node, object_guid)
             if self.recovery is not None:
@@ -295,14 +352,15 @@ class OceanStoreSystem:
         tier = SecondaryTier(
             self.network,
             object_guid,
-            root_contact=self.ring_nodes[0],
+            root_contact=shard.contact,
             rng=self._rng,
             max_fanout=self.config.dissemination_fanout,
             telemetry=self.telemetry,
         )
         self.tiers[object_guid] = tier
+        ring_hosts = self.rings.all_ring_nodes()
         candidates = [
-            n for n in sorted(self.network.nodes()) if n not in self.ring_nodes
+            n for n in sorted(self.network.nodes()) if n not in ring_hosts
         ]
         chosen = self._rng.sample(
             candidates, min(self.config.secondaries_per_object, len(candidates))
@@ -337,9 +395,10 @@ class OceanStoreSystem:
             if state is not None:
                 self._record_read(object_guid, result.replica_node, client)
         if state is None or state.version < min_version:
-            # Fall back to the authoritative primary tier, trying ring
-            # replicas in order (some may be crashed or faulty).
-            for primary in self.ring_nodes:
+            # Fall back to the authoritative primary tier, trying the
+            # owning ring's replicas in order (some may be crashed or
+            # faulty).
+            for primary in self.rings.members_for(object_guid):
                 fallback = self._state_at(object_guid, primary, allow_tentative=False)
                 if fallback is None:
                     continue
@@ -490,8 +549,14 @@ class OceanStoreSystem:
         tel = self.telemetry
         if tel.enabled:
             tel.count("updates_submitted_total")
+        shard = self.rings.resolve(update.object_guid, client=client_node)
         with tel.span("update.submit", client=client_node):
-            self.ring.submit(client_node, update)
+            if shard.transitioning and self.handoff is not None:
+                # Membership handoff in flight: the update parks in the
+                # manager and is re-driven into the new epoch's ring.
+                self.handoff.queue_update(shard.shard_id, client_node, update)
+            else:
+                shard.ring.submit(client_node, update)
             self.tiers[update.object_guid].submit_tentative(client_node, update)
 
     def read_version(self, object_guid: GUID, version: int) -> DataObjectState:
@@ -499,7 +564,8 @@ class OceanStoreSystem:
         if retained, else reconstructed from archival fragments."""
         from repro.data.version_log import VersionNotFound
 
-        primary = self.servers[self.ring_nodes[0]].objects.get(object_guid)
+        contact = self.rings.primary_for(object_guid)
+        primary = self.servers[contact].objects.get(object_guid)
         if primary is not None:
             try:
                 return primary.log.version(version).state.copy()
@@ -541,12 +607,45 @@ class OceanStoreSystem:
         # Honest replicas compute identical outcomes; record the first.
         self._outcomes.setdefault(update.update_id, outcome)
 
-    def _on_certificate(self, certificate: CommitCertificate) -> None:
-        """Serialized commits processed in global sequence order."""
-        self._cert_buffer[certificate.seq] = certificate
-        while self._next_cert_seq in self._cert_buffer:
-            cert = self._cert_buffer.pop(self._next_cert_seq)
-            self._next_cert_seq += 1
+    def wire_ring(self, shard_id: int, epoch: int, ring: InnerRing) -> None:
+        """Attach a shard's ring to the system's commit plumbing.
+
+        Used at construction (epoch 0 for every shard) and by the
+        handoff manager when it installs a replacement ring; the
+        certificate callback closes over ``(shard_id, epoch)`` so
+        delivery is epoch-fenced per shard.
+        """
+        ring.authorizer = self._authorize
+        ring.on_execute(self._on_execute)
+        key = (shard_id, epoch)
+        self._cert_buffer[key] = {}
+        self._next_cert_seq[key] = 0
+        ring.on_certificate(
+            lambda certificate: self._on_certificate(shard_id, epoch, certificate)
+        )
+
+    def _on_certificate(
+        self, shard_id: int, epoch: int, certificate: CommitCertificate
+    ) -> None:
+        """Serialized commits processed in per-shard sequence order.
+
+        The epoch fence runs first: a certificate produced by a ring
+        that has since been retired by a membership handoff is dropped
+        (and counted), never delivered.
+        """
+        if not self.rings.fence_check(shard_id, epoch):
+            if self.telemetry.enabled:
+                self.telemetry.count("rings_fenced_certificates_total")
+                self.telemetry.record(
+                    "rings", "fenced_certificate", shard=shard_id, epoch=epoch
+                )
+            return
+        key = (shard_id, epoch)
+        buffer = self._cert_buffer[key]
+        buffer[certificate.seq] = certificate
+        while self._next_cert_seq[key] in buffer:
+            cert = buffer.pop(self._next_cert_seq[key])
+            self._next_cert_seq[key] += 1
             self._deliver_commit(cert)
 
     def _deliver_commit(self, certificate: CommitCertificate) -> None:
@@ -590,9 +689,9 @@ class OceanStoreSystem:
     ) -> DataObjectState | None:
         if self.network.is_down(node):
             return None
-        if node in self.ring_nodes:
-            replica = self.ring.replicas[self.ring_nodes.index(node)]
-            if replica.fault_mode is FaultMode.SILENT:
+        ring_replica = self.rings.replica_on(node)
+        if ring_replica is not None:
+            if ring_replica.fault_mode is FaultMode.SILENT:
                 return None  # a crashed server answers nothing
             obj = self.servers[node].objects.get(object_guid)
             return obj.active if obj is not None else None
@@ -677,7 +776,9 @@ class OceanStoreSystem:
         avoids concentrating fragments in one failure domain
         (Section 4.5).
         """
-        primary = self.servers[self.ring_nodes[0]].objects.get(object_guid)
+        primary = self.servers[self.rings.primary_for(object_guid)].objects.get(
+            object_guid
+        )
         if primary is None:
             return None
         version = primary.version
@@ -773,7 +874,11 @@ class OceanStoreSystem:
             if tier is None:
                 continue
             target = decision.target_node
-            if target is None or target in tier.replicas or target in self.ring_nodes:
+            if (
+                target is None
+                or target in tier.replicas
+                or target in self.rings.all_ring_nodes()
+            ):
                 continue
             if not self.confidence.should_act("replica-create"):
                 continue  # past creations were harmful; hold off

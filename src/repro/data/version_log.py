@@ -91,6 +91,27 @@ class VersionLog:
         'interfaces will exist to examine modification history')."""
         return list(self._log)
 
+    def snapshot(self) -> "VersionLog":
+        """A deep copy for state transfer (ring-membership handoff).
+
+        The audit log stores no update bodies, so a receiving replica
+        cannot rebuild the chain by replay -- the snapshot carries the
+        head, every retained version record, and the log itself.  Block
+        payloads are immutable, so record states share storage
+        copy-on-write.
+        """
+        clone = VersionLog(head=self.head.copy())
+        clone._versions = {
+            number: VersionRecord(
+                version=record.version,
+                state=record.state.copy(),
+                update_id=record.update_id,
+            )
+            for number, record in self._versions.items()
+        }
+        clone._log = list(self._log)
+        return clone
+
     def retire(self, policy: VersionPolicy) -> list[int]:
         """Drop versions not retained by ``policy``; returns retired list."""
         keep = set(policy.retained(self.versions()))

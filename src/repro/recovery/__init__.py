@@ -17,6 +17,7 @@ from repro.recovery.detector import (
     FailureDetector,
     HeartbeatAck,
     HeartbeatPing,
+    Subscription,
 )
 from repro.recovery.manager import RecoveryManager
 from repro.recovery.repair import RoutingRepairer
@@ -32,5 +33,6 @@ __all__ = [
     "RecoveryManager",
     "RetryPolicy",
     "RoutingRepairer",
+    "Subscription",
     "TreeRepairer",
 ]

@@ -40,6 +40,29 @@ class HeartbeatAck:
     sender: NodeId
 
 
+@dataclass
+class Subscription:
+    """A cancellable registration on the failure detector.
+
+    Returned by :meth:`FailureDetector.subscribe`; call :meth:`cancel`
+    to detach both callbacks (idempotent).
+    """
+
+    detector: "FailureDetector"
+    on_suspect: Callable[[NodeId], None] | None = None
+    on_restore: Callable[[NodeId], None] | None = None
+    active: bool = True
+
+    def cancel(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        if self.on_suspect is not None:
+            self.detector._on_suspect.remove(self.on_suspect)
+        if self.on_restore is not None:
+            self.detector._on_restore.remove(self.on_restore)
+
+
 class FailureDetector:
     """One observer's suspicion state over a set of monitored nodes."""
 
@@ -92,11 +115,36 @@ class FailureDetector:
     def stop(self) -> None:
         self._timer.stop()
 
+    def subscribe(
+        self,
+        on_suspect: Callable[[NodeId], None] | None = None,
+        on_restore: Callable[[NodeId], None] | None = None,
+    ) -> Subscription:
+        """Register for suspicion transitions; the public listener API.
+
+        Callbacks fire in subscription order on each *transition* (a
+        node newly suspected, a suspected node acking again) -- never on
+        steady state.  Returns a :class:`Subscription` whose ``cancel``
+        detaches both callbacks, so layered subsystems (tree repair, ring
+        handoff) can unhook cleanly when torn down.
+        """
+        if on_suspect is None and on_restore is None:
+            raise ValueError("subscribe needs at least one callback")
+        if on_suspect is not None:
+            self._on_suspect.append(on_suspect)
+        if on_restore is not None:
+            self._on_restore.append(on_restore)
+        return Subscription(
+            detector=self, on_suspect=on_suspect, on_restore=on_restore
+        )
+
     def on_suspect(self, callback: Callable[[NodeId], None]) -> None:
-        self._on_suspect.append(callback)
+        """Back-compat shim for :meth:`subscribe`."""
+        self.subscribe(on_suspect=callback)
 
     def on_restore(self, callback: Callable[[NodeId], None]) -> None:
-        self._on_restore.append(callback)
+        """Back-compat shim for :meth:`subscribe`."""
+        self.subscribe(on_restore=callback)
 
     # -- heartbeat rounds -----------------------------------------------------
 

@@ -74,8 +74,12 @@ class RecoveryManager:
         # Routing heals before the trees do: reparented orphans route
         # their catch-up traffic through a mesh that no longer points at
         # the dead node.
-        self.detector.on_suspect(self.repairer.on_suspect)
-        self.detector.on_suspect(self.tree_repairer.on_suspect)
+        self._routing_sub = self.detector.subscribe(
+            on_suspect=self.repairer.on_suspect
+        )
+        self._tree_sub = self.detector.subscribe(
+            on_suspect=self.tree_repairer.on_suspect
+        )
         self._refresh_timer = Timer(
             kernel,
             config.refresh_interval_ms,

@@ -1,0 +1,52 @@
+"""Sharded multi-ring control plane.
+
+One inner ring per GUID range instead of one global ring: range
+sharding (:mod:`~repro.rings.sharding`), a mesh-resolved ring directory
+(:mod:`~repro.rings.directory`), per-GUID ring resolution
+(:mod:`~repro.rings.provider`), and deterministic election plus
+epoch-fenced state handoff when members die
+(:mod:`~repro.rings.handoff`).
+"""
+
+from repro.rings.directory import (
+    DIRECTORY_ENTRY_BYTES,
+    DirectoryUpdate,
+    RingDescriptor,
+    RingDirectory,
+    directory_guid,
+)
+from repro.rings.election import elect, election_score, plan_membership
+from repro.rings.handoff import (
+    ElectionAnnounce,
+    HandoffComplete,
+    HandoffManager,
+    StateHandoffChunk,
+)
+from repro.rings.provider import RingProvider, RingShard
+from repro.rings.sharding import (
+    GUID_SPACE,
+    ShardRange,
+    shard_for,
+    shard_ranges,
+)
+
+__all__ = [
+    "DIRECTORY_ENTRY_BYTES",
+    "DirectoryUpdate",
+    "ElectionAnnounce",
+    "GUID_SPACE",
+    "HandoffComplete",
+    "HandoffManager",
+    "RingDescriptor",
+    "RingDirectory",
+    "RingProvider",
+    "RingShard",
+    "ShardRange",
+    "StateHandoffChunk",
+    "directory_guid",
+    "elect",
+    "election_score",
+    "plan_membership",
+    "shard_for",
+    "shard_ranges",
+]

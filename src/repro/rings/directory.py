@@ -1,0 +1,146 @@
+"""The ring directory: who is responsible for which GUID range.
+
+Directory entries map a shard to its current epoch, membership, and
+contact node.  Following the way IPFS resolves provider records through
+its DHT, the entry for shard ``i`` is *published into the Plaxton mesh*
+under the well-known GUID ``hash("ring-directory", i)``: a resolver
+routes to that GUID's root and finds a pointer to the shard's contact
+node, exactly like locating an object replica.  Small deployments (and
+``ring_count == 1``, where there is nothing to resolve) skip the mesh
+and use the seeded static map alone -- the map is also the fallback when
+mesh pointers are damaged mid-repair.
+
+Directory *updates* -- a new epoch's membership after election and
+handoff -- ride real network messages to the new members, tagged
+``(subsystem="rings", phase="directory")`` so the per-phase traffic
+ledger accounts for control-plane churn separately from data traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rings.sharding import ShardRange
+from repro.routing.plaxton import PlaxtonMesh
+from repro.sim.network import Network, NodeId
+from repro.telemetry import coalesce
+from repro.util.ids import GUID
+
+#: wire size of a directory entry (shard, epoch, membership list)
+DIRECTORY_ENTRY_BYTES = 96
+
+
+@dataclass(frozen=True, slots=True)
+class RingDescriptor:
+    """One shard's authoritative directory entry."""
+
+    shard_id: int
+    range: ShardRange
+    epoch: int
+    members: tuple[NodeId, ...]
+
+    @property
+    def contact(self) -> NodeId:
+        """The client-facing member (view-0 leader of the shard's ring)."""
+        return self.members[0]
+
+
+@dataclass(frozen=True, slots=True)
+class DirectoryUpdate:
+    """Network notification: a shard moved to a new epoch/membership."""
+
+    descriptor: RingDescriptor
+
+
+def directory_guid(shard_id: int) -> GUID:
+    """The well-known GUID the shard's entry is published under."""
+    return GUID.hash_of(b"ring-directory", shard_id.to_bytes(4, "big"))
+
+
+class RingDirectory:
+    """Resolves GUID ranges to ring descriptors, mesh-first."""
+
+    def __init__(
+        self,
+        network: Network,
+        mesh: PlaxtonMesh | None = None,
+        telemetry=None,
+    ) -> None:
+        self.network = network
+        #: None for single-ring deployments: no publications, no lookups
+        self.mesh = mesh
+        self.telemetry = coalesce(telemetry)
+        #: the seeded static map -- authoritative and always current
+        self._entries: dict[int, RingDescriptor] = {}
+        self.stats_resolves = 0
+        self.stats_mesh_hits = 0
+        self.stats_fallbacks = 0
+
+    # -- publication -------------------------------------------------------
+
+    def install(self, descriptor: RingDescriptor) -> None:
+        """Seed or replace an entry in the static map (no traffic)."""
+        self._entries[descriptor.shard_id] = descriptor
+        if self.mesh is not None:
+            # Deposit mesh pointers from the contact node toward the
+            # entry's root, so resolvers can find the shard through the
+            # overlay itself (synchronous soft-state walk, like every
+            # mesh publish).
+            self.mesh.publish(descriptor.contact, directory_guid(descriptor.shard_id))
+
+    def announce(self, descriptor: RingDescriptor, origin: NodeId) -> None:
+        """Install a new epoch's entry and notify the new membership.
+
+        The notification messages are what a real deployment would
+        gossip; here they carry the accounting (and the latency) of the
+        directory churn a handoff causes.
+        """
+        self.install(descriptor)
+        for member in descriptor.members:
+            if member == origin:
+                continue
+            self.network.send(
+                origin,
+                member,
+                DirectoryUpdate(descriptor),
+                size_bytes=DIRECTORY_ENTRY_BYTES
+                + 8 * len(descriptor.members),
+                phase="directory",
+                subsystem="rings",
+            )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("rings_directory_updates_total")
+            tel.record(
+                "rings",
+                "directory_announce",
+                shard=descriptor.shard_id,
+                epoch=descriptor.epoch,
+                contact=descriptor.contact,
+            )
+
+    # -- resolution --------------------------------------------------------
+
+    def entry(self, shard_id: int) -> RingDescriptor:
+        return self._entries[shard_id]
+
+    def entries(self) -> list[RingDescriptor]:
+        return [self._entries[s] for s in sorted(self._entries)]
+
+    def resolve(self, shard_id: int, client: NodeId | None = None) -> RingDescriptor:
+        """The current descriptor for a shard, resolved through the mesh.
+
+        The mesh lookup routes from ``client`` toward the entry's
+        well-known GUID and must land on the shard's contact; a miss (or
+        a stale pointer left by a dead contact) falls back to the seeded
+        static map, which repair then re-publishes from.
+        """
+        self.stats_resolves += 1
+        descriptor = self._entries[shard_id]
+        if self.mesh is not None and client is not None:
+            result = self.mesh.locate(client, directory_guid(shard_id))
+            if result.found and result.replica_node == descriptor.contact:
+                self.stats_mesh_hits += 1
+                return descriptor
+            self.stats_fallbacks += 1
+        return descriptor

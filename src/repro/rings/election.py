@@ -1,0 +1,79 @@
+"""Deterministic, seeded ring-membership election.
+
+When a ring member is suspected dead, the survivors must agree on a
+replacement without a coordination round of their own (the whole point
+of the primary tier is that *it* is the coordination service).  We use
+rendezvous (highest-random-weight) hashing: every candidate node gets a
+score that is a secure hash of the deployment seed, the shard, the
+target epoch, and the node id, and the top-scoring candidates win.
+
+Any party holding the same view of the candidate set computes the same
+winners -- no messages, no shared state, no RNG stream consumed -- and
+different epochs reshuffle the scores, so a replacement that immediately
+dies does not keep winning the re-election for the next epoch.
+"""
+
+from __future__ import annotations
+
+from repro.sim.network import NodeId
+from repro.util.ids import secure_hash
+
+
+def election_score(seed: int, shard_id: int, epoch: int, node: NodeId) -> bytes:
+    """The rendezvous weight of one candidate for one (shard, epoch)."""
+    return secure_hash(
+        b"ring-election",
+        seed.to_bytes(8, "big", signed=True),
+        shard_id.to_bytes(4, "big"),
+        epoch.to_bytes(8, "big"),
+        int(node).to_bytes(8, "big", signed=True),
+    )
+
+
+def elect(
+    seed: int,
+    shard_id: int,
+    epoch: int,
+    candidates: list[NodeId],
+    count: int,
+) -> list[NodeId]:
+    """Top ``count`` candidates by rendezvous weight (ties by node id).
+
+    Raises ``ValueError`` when the candidate pool cannot fill the seats;
+    callers treat that as "shard stays degraded until more spares show
+    up", which the ownership invariant then reports.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0: {count}")
+    if len(candidates) < count:
+        raise ValueError(
+            f"shard {shard_id} epoch {epoch}: need {count} replacements "
+            f"but only {len(candidates)} candidates are live"
+        )
+    ranked = sorted(
+        candidates,
+        key=lambda node: (election_score(seed, shard_id, epoch, node), node),
+        reverse=True,
+    )
+    return ranked[:count]
+
+
+def plan_membership(
+    seed: int,
+    shard_id: int,
+    epoch: int,
+    members: list[NodeId],
+    dead: tuple[NodeId, ...],
+    candidates: list[NodeId],
+) -> list[NodeId]:
+    """The next epoch's membership: dead seats re-filled in place.
+
+    Survivors keep their slots (so the view-0 leader only changes when
+    it was the casualty) and each dead seat takes the next elected
+    replacement.  Pure function of its arguments -- the handoff manager
+    and the hypothesis ownership property drive the very same code.
+    """
+    replacements = iter(
+        elect(seed, shard_id, epoch, list(candidates), len(dead))
+    )
+    return [next(replacements) if m in dead else m for m in members]

@@ -1,0 +1,59 @@
+"""GUID-range sharding of the control plane.
+
+The paper intends a small inner ring of responsible parties *per object*
+(Sections 3 and 4.5); a global deployment therefore runs many rings, and
+"which ring is responsible for this GUID" must be a pure function of the
+GUID.  We use consistent-hash-style range partitioning: the 160-bit GUID
+space ``[0, 2^160)`` is cut into ``ring_count`` contiguous, equal-width
+ranges, and shard ``i`` owns the ``i``-th range.  GUIDs are secure
+hashes, hence uniform over the space, so ranges receive balanced load
+without any placement table.
+
+Ranges cover the space exactly -- no gaps, no overlap -- which is the
+first clause of the ``ring-epoch-ownership`` invariant the chaos oracle
+checks after every scenario.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.util.ids import GUID, GUID_BITS
+
+#: Size of the GUID space; range arithmetic is exact integer math.
+GUID_SPACE = 1 << GUID_BITS
+
+
+@dataclass(frozen=True, slots=True)
+class ShardRange:
+    """One shard's slice of the GUID space: ``[low, high)``."""
+
+    shard_id: int
+    low: int
+    high: int
+
+    def __contains__(self, guid: GUID) -> bool:
+        return self.low <= guid.value < self.high
+
+    def describe(self) -> str:
+        width = GUID_BITS // 4
+        return f"[{self.low:0{width}x}, {self.high:0{width}x})"
+
+
+def shard_ranges(ring_count: int) -> tuple[ShardRange, ...]:
+    """Partition ``[0, 2^160)`` into ``ring_count`` contiguous ranges."""
+    if ring_count < 1:
+        raise ValueError(f"ring_count must be >= 1: {ring_count}")
+    bounds = [i * GUID_SPACE // ring_count for i in range(ring_count + 1)]
+    return tuple(
+        ShardRange(shard_id=i, low=bounds[i], high=bounds[i + 1])
+        for i in range(ring_count)
+    )
+
+
+def shard_for(guid: GUID, ranges: tuple[ShardRange, ...]) -> int:
+    """The shard id owning ``guid`` (ranges are sorted and contiguous)."""
+    lows = [r.low for r in ranges]
+    index = bisect_right(lows, guid.value) - 1
+    return ranges[index].shard_id

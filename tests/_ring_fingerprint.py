@@ -1,0 +1,92 @@
+"""Canonical deployment fingerprint used by the ring_count=1 differential test.
+
+The fingerprint is a deterministic function of the master seed and the
+deployment's observable behaviour: the flight-recorder digest (every
+network/pbft/dissemination event in causal order), the committed update
+order, the serialized primary state, the network totals, and the chaos
+trace digests of three representative scenarios.
+
+``python tests/_ring_fingerprint.py`` prints the fingerprint for the
+current tree; the copy captured at the pre-sharding HEAD lives in
+``tests/data/head_fingerprint.json``.  The differential test recomputes
+the fingerprint with ``ring_count=1`` and requires byte equality, which
+is how "ring count 1 stays byte-identical to HEAD traces" is enforced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+CHAOS_SCENARIOS = ("pbft-silent", "orphaned-subtree", "dead-root-read")
+
+
+def core_fingerprint(**config_overrides) -> dict:
+    """Flight digest + commit order + state hash of a fixed workload."""
+    from repro.core import DeploymentConfig, OceanStoreSystem, make_client
+    from repro.core.system import serialize_state
+    from repro.sim import TopologyParams
+    from repro.telemetry import TelemetryConfig
+
+    system = OceanStoreSystem(
+        DeploymentConfig(
+            seed=1234,
+            topology=TopologyParams(
+                transit_nodes=4, stubs_per_transit=2, nodes_per_stub=4
+            ),
+            telemetry=TelemetryConfig(enabled=True, flight_capacity=65_536),
+            **config_overrides,
+        )
+    )
+    client = make_client(system, "fingerprint-author", seed=99)
+    obj = client.create_object("fingerprint-object")
+    for i in range(3):
+        client.write(obj, f"fingerprint-payload-{i}".encode() * 8)
+    system.settle()
+    primary = system.servers[system.ring_nodes[0]].objects[obj.guid]
+    state_hash = hashlib.sha256(serialize_state(primary.active)).hexdigest()
+    log_lines = [
+        f"{entry.update_id.hex()}:{entry.committed}:{entry.resulting_version}"
+        for entry in primary.log.history()
+    ]
+    assert system.telemetry.flight is not None
+    return {
+        "flight_digest": system.telemetry.flight.digest(),
+        "committed_order": [
+            u.update_id.hex() for u in system.ring.committed_order
+        ],
+        "version_log": log_lines,
+        "state_sha256": state_hash,
+        "messages_total": system.network.stats_total_messages,
+        "bytes_total": system.network.stats_total_bytes,
+        "phase_stats": {
+            f"{sub}/{phase}": [stats.messages, stats.bytes]
+            for (sub, phase), stats in sorted(system.network.phase_stats.items())
+        },
+    }
+
+
+def chaos_fingerprint() -> dict:
+    """Trace digests of representative chaos scenarios at seed 0."""
+    from repro.chaos import run_scenario
+
+    digests = {}
+    for name in CHAOS_SCENARIOS:
+        report = run_scenario(name, seed=0)
+        digests[name] = {"digest": report.trace_digest, "passed": report.passed}
+    return digests
+
+
+def full_fingerprint(**config_overrides) -> dict:
+    return {
+        "core": core_fingerprint(**config_overrides),
+        "chaos": chaos_fingerprint(),
+    }
+
+
+if __name__ == "__main__":
+    print(json.dumps(full_fingerprint(), indent=2, sort_keys=True))

@@ -33,7 +33,12 @@ RECOVERY_SCENARIOS = (
     "dead-root-read",
 )
 
-ALL_SCENARIOS = BYZANTINE_SCENARIOS + RECOVERY_SCENARIOS + (
+RINGS_SCENARIOS = (
+    "cross-shard-partition",
+    "mid-handoff-crash",
+)
+
+ALL_SCENARIOS = BYZANTINE_SCENARIOS + RECOVERY_SCENARIOS + RINGS_SCENARIOS + (
     "pbft-quorum-violation",
     "routing-churn",
     "dissemination-loss",
@@ -157,6 +162,39 @@ def test_recovery_run_records_repair_events_in_flight():
     assert report.passed, report.render(include_trace=True)
     assert "suspect" in report.flight_dump
     assert "reparent" in report.flight_dump
+
+
+# ---------------------------------------------------------------------------
+# Sharded control plane: cross-shard faults and mid-handoff crashes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", RINGS_SCENARIOS)
+def test_rings_scenarios_pass_with_recovery_on(name):
+    report = run_scenario(name, seed=0)
+    assert report.passed, report.render(include_trace=True)
+    assert report.invariants.violated_names() == set()
+    # The sharded deployments actually exercise the ownership oracle.
+    assert "ring-epoch-ownership" in report.invariants.checked
+
+
+def test_mid_handoff_crash_fails_with_recovery_off():
+    """The adversarial acceptance for the handoff: the same crash
+    schedule with no handoff manager must orphan the shard."""
+    report = run_scenario(
+        "mid-handoff-crash", seed=0, chaos=ChaosConfig(recovery=False)
+    )
+    assert not report.passed, report.render(include_trace=True)
+    violated = report.invariants.violated_names()
+    assert {"liveness", "ring-epoch-ownership"} <= violated
+
+
+@pytest.mark.parametrize("name", RINGS_SCENARIOS)
+def test_rings_scenarios_replay_bit_identically(name):
+    first = run_scenario(name, seed=17)
+    second = run_scenario(name, seed=17)
+    assert first.trace_digest == second.trace_digest
+    assert first.events == second.events
 
 
 # ---------------------------------------------------------------------------

@@ -31,6 +31,22 @@ class TestCLI:
         assert "n=13 replicas" in out
         assert "normalized cost" in out
 
+    def test_rings(self, capsys):
+        assert main(["rings", "--ring-count", "2", "--updates", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "control plane: 2 ring(s), sharded" in out
+        assert "shard 1 epoch 0" in out
+        assert "per-ring commits:" in out
+
+    def test_rings_json(self, capsys):
+        import json
+
+        assert main(["rings", "--ring-count", "1", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sharded"] is False
+        assert len(report["directory"]) == 1
+        assert report["commits"][0]["committed"] == 2
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -57,6 +57,7 @@ from repro.data import (  # noqa: E402
 )
 from repro.naming import object_guid  # noqa: E402
 from repro.sim import LinkFaultRule, TopologyParams  # noqa: E402
+from repro.telemetry.profiler import KernelProfiler  # noqa: E402
 from repro.util.benchjson import (  # noqa: E402
     append_run,
     compare_metrics,
@@ -72,10 +73,14 @@ class BenchResult:
         metrics: dict[str, float],
         config: dict,
         series: object = None,
+        timings: dict[str, float] | None = None,
     ) -> None:
         self.metrics = metrics
         self.config = config
         self.series = series
+        #: extra wall-clock numbers (informational, never gated) merged
+        #: into the envelope next to wall_seconds
+        self.timings = timings or {}
 
 
 BENCHES: dict[str, Callable[[int, bool], BenchResult]] = {}
@@ -478,6 +483,76 @@ def bench_ring_scaling(seed: int, fast: bool) -> BenchResult:
     )
 
 
+@bench("events_per_second")
+def bench_events_per_second(seed: int, fast: bool) -> BenchResult:
+    """Kernel throughput under the profiler: a mixed write/read workload
+    with recovery heartbeats, attributed to (subsystem, phase) buckets.
+
+    The event counts, pending-heap depth, and per-sim-ms rate are
+    deterministic and gated; events/wall-second is machine-dependent and
+    rides in ``timings`` for trend lines only.
+    """
+    updates = 3 if fast else 10
+    reads = 3 if fast else 10
+    system = OceanStoreSystem(
+        DeploymentConfig(
+            seed=seed,
+            topology=TopologyParams(
+                transit_nodes=4, stubs_per_transit=2, nodes_per_stub=5
+            ),
+            recovery=RecoveryConfig(enabled=True),
+        )
+    )
+    # The profiler hangs directly off the kernel -- no full telemetry
+    # stack, so the bench measures the kernel and protocol callbacks,
+    # not the flight recorder.
+    profiler = KernelProfiler()
+    system.kernel.profiler = profiler
+    client = make_client(system, "bench-profiled", seed=seed + 1)
+    obj = client.create_object("bench-object")
+    for i in range(updates):
+        client.write(obj, f"profiled-update-{i}".encode() * 16)
+    for _ in range(reads):
+        client.read(obj)
+        system.settle(1_000.0)
+    system.settle(30_000.0)
+    by_subsystem: dict[str, int] = {}
+    for (sub, _), bucket in profiler.buckets.items():
+        by_subsystem[sub] = by_subsystem.get(sub, 0) + bucket.calls
+    named_calls = sum(c for s, c in by_subsystem.items() if s != "other")
+    metrics: dict[str, float] = {
+        "events_total": profiler.events_total,
+        "sim_span_ms": round(profiler.sim_span_ms, 1),
+        "events_per_sim_ms": round(profiler.events_per_sim_ms, 4),
+        "max_pending": profiler.max_pending,
+        "attributed_calls_pct": round(
+            100.0 * named_calls / profiler.events_total, 2
+        )
+        if profiler.events_total
+        else 0.0,
+    }
+    for sub in sorted(by_subsystem):
+        metrics[f"calls_{sub}"] = by_subsystem[sub]
+    timings = {
+        "events_per_wall_s": round(profiler.events_per_wall_s, 1),
+        "profiled_wall_s": round(profiler.wall_total_s, 4),
+        "attributed_wall_fraction": round(
+            profiler.attributed_wall_fraction(), 4
+        ),
+    }
+    return BenchResult(
+        metrics,
+        config={
+            "updates": updates,
+            "reads": reads,
+            "topology": "4x2x5",
+            "recovery": True,
+        },
+        series=profiler.snapshot(),
+        timings=timings,
+    )
+
+
 # -- runner -------------------------------------------------------------------
 
 
@@ -499,7 +574,7 @@ def _run_one(name: str, seed: int, fast: bool) -> dict:
         seed=seed,
         metrics=result.metrics,
         config=result.config,
-        timings={"wall_seconds": round(wall, 3)},
+        timings={"wall_seconds": round(wall, 3), **result.timings},
         series=result.series,
         fast=fast,
     )

@@ -49,6 +49,7 @@ from repro.sim.faults import LinkFaultRule
 from repro.sim.kernel import Kernel
 from repro.sim.network import Network, TopologyParams
 from repro.telemetry import Telemetry, TelemetryConfig
+from repro.telemetry.export import export_telemetry
 from repro.util.ids import GUID
 from repro.util.rng import SeedSequence
 
@@ -71,9 +72,16 @@ class ChaosReport:
     #: request) -- byte-identical across runs with the same master seed
     flight_dump: str = ""
     summary: str = ""
+    #: kernel-profiler snapshot, present when the run profiled
+    profile: dict | None = None
+    #: per-operation SLO latency summary, present when recorded
+    slo: dict | None = None
+    #: Perfetto/Chrome trace-event JSON, auto-attached on invariant
+    #: failure (or on request) -- byte-identical across same-seed runs
+    perfetto: str = ""
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "scenario": self.scenario,
             "seed": self.seed,
             "passed": self.passed,
@@ -89,7 +97,13 @@ class ChaosReport:
                 ],
             },
             "events": list(self.events),
+            "perfetto_attached": bool(self.perfetto),
         }
+        if self.profile is not None:
+            out["profile"] = self.profile
+        if self.slo is not None:
+            out["slo"] = self.slo
+        return out
 
     def render(self, include_trace: bool = False) -> str:
         status = "PASS" if self.passed else "FAIL"
@@ -186,7 +200,12 @@ def _standard_system(ctx: ChaosContext, **overrides) -> OceanStoreSystem:
         # Recovery heartbeats add steady background traffic; a roomy
         # flight ring keeps the rare repair events (suspect, reparent,
         # republish) from being evicted before the postmortem dump.
-        telemetry=TelemetryConfig(enabled=True, flight_capacity=65_536),
+        telemetry=TelemetryConfig(
+            enabled=True,
+            flight_capacity=65_536,
+            profile=ctx.chaos.profile,
+            slo_thresholds=ctx.chaos.slo_thresholds,
+        ),
         chaos=ctx.chaos,
         batch_size=ctx.chaos.batch_size,
         batch_delay_ms=ctx.chaos.batch_delay_ms,
@@ -927,6 +946,18 @@ def run_scenario(
     else:  # pragma: no cover - a scenario must attach something
         raise RuntimeError(f"scenario {name} attached no system or ring")
 
+    # SLO oracle: only when thresholds were configured -- the default
+    # (record, never judge) leaves checked/violations, and therefore the
+    # trace digest, untouched.
+    if ctx.system is not None:
+        slo = ctx.system.telemetry.slo
+        if slo is not None and slo.thresholds:
+            ctx.extra_checked.append("operation-slo")
+            for slo_violation in slo.check():
+                ctx.extra_violations.append(
+                    InvariantViolation("operation-slo", slo_violation.describe())
+                )
+
     if ctx.extra_checked or ctx.extra_violations:
         report = InvariantReport(
             checked=report.checked + tuple(ctx.extra_checked),
@@ -940,6 +971,7 @@ def run_scenario(
     if not passed and ctx.telemetry is not None and ctx.telemetry.enabled:
         span_dump = ctx.telemetry.render_spans(max_depth=6)
     flight_dump = ""
+    perfetto = ""
     if (
         (not passed or capture_flight)
         and ctx.telemetry is not None
@@ -947,6 +979,18 @@ def run_scenario(
         and ctx.telemetry.flight is not None
     ):
         flight_dump = ctx.telemetry.flight.render()
+        # The Perfetto export rides along with the postmortem: load it
+        # into ui.perfetto.dev to see the same timeline visually.
+        perfetto = export_telemetry(ctx.telemetry)
+    profile_snapshot: dict | None = None
+    slo_summary: dict | None = None
+    if ctx.telemetry is not None and ctx.telemetry.enabled:
+        profiler = ctx.telemetry.profiler
+        if profiler is not None and profiler.events_total:
+            profile_snapshot = profiler.snapshot()
+        slo = ctx.telemetry.slo
+        if slo is not None and slo.ops():
+            slo_summary = slo.summary()
     if passed and not ctx.expect_violations:
         summary = "all invariants held"
     elif passed:
@@ -971,6 +1015,9 @@ def run_scenario(
         span_dump=span_dump,
         flight_dump=flight_dump,
         summary=summary,
+        profile=profile_snapshot,
+        slo=slo_summary,
+        perfetto=perfetto,
     )
 
 

@@ -18,7 +18,15 @@ Commands:
                    checking; the same seed replays bit-identically;
 * ``rings``     -- stand up a sharded control plane, drive one update
                    per shard, and print the ring directory, membership,
-                   and per-ring commit stats.
+                   and per-ring commit stats;
+* ``profile``   -- run a chaos scenario under the kernel profiler and
+                   print the (subsystem, phase) wall-time attribution;
+* ``slo``       -- drive an end-user workload (or a chaos scenario) and
+                   print per-operation latency percentiles with SLO
+                   threshold verdicts;
+* ``health``    -- stand up a deployment and dump the control-plane
+                   health snapshot (ring epochs, degraded shards,
+                   suspected members, handoff progress) as JSON.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ import argparse
 import json
 import random
 import sys
+from pathlib import Path
 
 from repro.archival import erasure_availability, nines, replication_availability
 from repro.chaos import SCENARIOS, run_scenario, scenario_descriptions
@@ -35,8 +44,11 @@ from repro.core import ChaosConfig, DeploymentConfig, OceanStoreSystem, make_cli
 from repro.crypto.keys import make_principal
 from repro.data import AppendBlock, TruePredicate, UpdateBranch, make_update
 from repro.naming import object_guid
+from repro.recovery import RecoveryConfig
 from repro.sim import TopologyParams
 from repro.telemetry import TelemetryConfig
+from repro.telemetry.export import export_telemetry
+from repro.telemetry.profiler import render_snapshot
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -104,6 +116,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full metrics+spans export as JSON instead of tables",
     )
+    telem.add_argument(
+        "--quantiles",
+        default=None,
+        metavar="Q,Q,...",
+        help="histogram summary quantiles, e.g. 50,90,99.9 "
+        "(default: 50,90,95,99)",
+    )
 
     flight = sub.add_parser(
         "flightrec",
@@ -142,6 +161,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     flight.add_argument(
         "--json", action="store_true", help="emit the dump as JSON"
+    )
+    flight.add_argument(
+        "--export-perfetto",
+        metavar="PATH",
+        default=None,
+        help="also write the run as Chrome trace-event JSON, viewable "
+        "at ui.perfetto.dev (byte-identical across same-seed runs)",
     )
 
     chaos = sub.add_parser(
@@ -186,6 +212,27 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--json", action="store_true", help="emit reports as JSON"
     )
+    chaos.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under the kernel profiler and print the attribution "
+        "table per scenario",
+    )
+    chaos.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="OP:pQ:MS",
+        help="SLO threshold judged as an invariant, e.g. read:p95:2000 "
+        "(repeatable)",
+    )
+    chaos.add_argument(
+        "--export-dir",
+        metavar="DIR",
+        default=None,
+        help="write <scenario>-<seed>.perfetto.json for every failing "
+        "scenario into DIR (CI uploads these as artifacts)",
+    )
 
     rings = sub.add_parser(
         "rings",
@@ -208,7 +255,107 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the report as JSON"
     )
 
+    profile = sub.add_parser(
+        "profile",
+        help="kernel wall-time attribution for a chaos scenario",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="mid-handoff-crash",
+        help="chaos scenario to profile (default: mid-handoff-crash)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=10, help="hot buckets to show"
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="emit the full snapshot as JSON"
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="per-operation latency percentiles with SLO verdicts",
+    )
+    slo.add_argument("--seed", type=int, default=42)
+    slo.add_argument(
+        "--writes", type=int, default=4, help="updates to drive"
+    )
+    slo.add_argument("--reads", type=int, default=4, help="reads to drive")
+    slo.add_argument(
+        "--threshold",
+        action="append",
+        default=None,
+        metavar="OP:pQ:MS",
+        help="SLO limit, e.g. read:p95:2000 or update:p99:30000 "
+        "(repeatable); exit 1 when any is exceeded",
+    )
+    slo.add_argument(
+        "--chaos",
+        metavar="NAME",
+        default=None,
+        help="judge a chaos scenario's operations instead of driving "
+        "the built-in workload",
+    )
+    slo.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    health = sub.add_parser(
+        "health",
+        help="control-plane health snapshot (always JSON)",
+    )
+    health.add_argument("--seed", type=int, default=0)
+    health.add_argument(
+        "--ring-count",
+        type=int,
+        default=2,
+        help="GUID-range shards in the control plane",
+    )
+    health.add_argument(
+        "--updates",
+        type=int,
+        default=1,
+        help="updates to commit per shard before snapshotting",
+    )
+    health.add_argument(
+        "--crash",
+        type=int,
+        default=0,
+        metavar="N",
+        help="crash N stub nodes first, so degraded/suspected fields "
+        "have something to report (enables the recovery layer)",
+    )
+
     return parser
+
+
+def _parse_slo_thresholds(
+    entries: list[str] | None,
+) -> dict[str, dict[str, float]]:
+    """``["read:p95:2000", ...]`` -> ``{"read": {"p95": 2000.0}}``."""
+    thresholds: dict[str, dict[str, float]] = {}
+    for entry in entries or []:
+        parts = entry.split(":")
+        if len(parts) != 3:
+            raise SystemExit(
+                f"bad SLO spec {entry!r}; expected OP:pQ:LIMIT_MS"
+            )
+        op, qname, limit = parts
+        try:
+            thresholds.setdefault(op, {})[qname] = float(limit)
+        except ValueError:
+            raise SystemExit(f"bad SLO limit in {entry!r}") from None
+    return thresholds
+
+
+def _parse_quantiles(spec: str | None) -> tuple[float, ...] | None:
+    if spec is None:
+        return None
+    try:
+        return tuple(float(q) for q in spec.split(","))
+    except ValueError:
+        raise SystemExit(f"bad quantile list {spec!r}") from None
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -415,21 +562,30 @@ def _print_metrics_table(export: dict) -> None:
         width = max(len(k) for k in histograms)
         for name in sorted(histograms):
             s = histograms[name]
+            # Quantile columns follow the configured list, whatever it is.
+            cells = " ".join(
+                f"{k}={s[k]:.2f}" for k in s if k.startswith("p")
+            )
             print(
                 f"  {name:<{width}}  n={int(s['count'])} mean={s['mean']:.2f} "
-                f"p50={s['p50']:.2f} p95={s['p95']:.2f} p99={s['p99']:.2f} "
-                f"max={s['max']:.2f}"
+                f"{cells} max={s['max']:.2f}"
             )
 
 
 def cmd_telemetry(args: argparse.Namespace) -> int:
+    quantiles = _parse_quantiles(args.quantiles)
+    telemetry_config = (
+        TelemetryConfig(enabled=True)
+        if quantiles is None
+        else TelemetryConfig(enabled=True, quantiles=quantiles)
+    )
     system = OceanStoreSystem(
         DeploymentConfig(
             seed=args.seed,
             topology=TopologyParams(
                 transit_nodes=4, stubs_per_transit=2, nodes_per_stub=5
             ),
-            telemetry=TelemetryConfig(enabled=True),
+            telemetry=telemetry_config,
         )
     )
     status = _SCENARIOS[args.scenario](system, args.seed)
@@ -458,6 +614,12 @@ def cmd_flightrec(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         print(report.flight_dump)
+        if args.export_perfetto is not None:
+            Path(args.export_perfetto).write_text(report.perfetto)
+            print(
+                f"perfetto trace written to {args.export_perfetto}",
+                file=sys.stderr,
+            )
         return 0 if report.passed else 1
     system = OceanStoreSystem(
         DeploymentConfig(
@@ -475,6 +637,14 @@ def cmd_flightrec(args: argparse.Namespace) -> int:
     status = _SCENARIOS[args.scenario](system, args.seed)
     recorder = system.telemetry.flight
     assert recorder is not None
+    if args.export_perfetto is not None:
+        Path(args.export_perfetto).write_text(
+            export_telemetry(system.telemetry)
+        )
+        print(
+            f"perfetto trace written to {args.export_perfetto}",
+            file=sys.stderr,
+        )
     if args.json:
         print(status, file=sys.stderr)
         print(recorder.dump_json(categories=args.category))
@@ -497,16 +667,30 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         intensity=args.intensity,
         duration_ms=args.duration,
         recovery=False if args.no_recovery else None,
+        profile=args.profile,
+        slo_thresholds=_parse_slo_thresholds(args.slo),
     )
     reports = [
         run_scenario(name, seed=args.seed, chaos=chaos_config)
         for name in names
     ]
+    if args.export_dir is not None:
+        export_dir = Path(args.export_dir)
+        export_dir.mkdir(parents=True, exist_ok=True)
+        for report in reports:
+            if report.perfetto:
+                target = export_dir / (
+                    f"{report.scenario}-{report.seed}.perfetto.json"
+                )
+                target.write_text(report.perfetto)
+                print(f"perfetto trace written to {target}", file=sys.stderr)
     if args.json:
         print(json.dumps([report.to_dict() for report in reports], indent=2))
     else:
         for report in reports:
             print(report.render(include_trace=args.trace))
+            if args.profile and report.profile is not None:
+                print(render_snapshot(report.profile))
             print()
         passed = sum(1 for r in reports if r.passed)
         print(f"{passed}/{len(reports)} scenarios passed (seed {args.seed})")
@@ -607,6 +791,143 @@ def cmd_rings(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    report = run_scenario(
+        args.scenario, seed=args.seed, chaos=ChaosConfig(profile=True)
+    )
+    print(
+        f"{'PASS' if report.passed else 'FAIL'}  {report.scenario}  "
+        f"seed={report.seed}",
+        file=sys.stderr,
+    )
+    if report.profile is None:
+        print("no events profiled", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.profile, indent=2))
+    else:
+        print(render_snapshot(report.profile, top=args.top))
+    return 0 if report.passed else 1
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    thresholds = _parse_slo_thresholds(args.threshold)
+    if args.chaos is not None:
+        report = run_scenario(
+            args.chaos,
+            seed=args.seed,
+            chaos=ChaosConfig(slo_thresholds=thresholds),
+        )
+        print(
+            f"{'PASS' if report.passed else 'FAIL'}  {report.scenario}  "
+            f"seed={report.seed}",
+            file=sys.stderr,
+        )
+        if args.json:
+            print(json.dumps(report.slo or {}, indent=2))
+            return 0 if report.passed else 1
+        if report.slo is None:
+            print("no operations recorded")
+            return 0 if report.passed else 1
+        width = max(len(name) for name in report.slo)
+        for name, row in report.slo.items():
+            cells = " ".join(
+                f"{k}={row[k]:.1f}"
+                for k in row
+                if k not in ("count", "min")
+            )
+            print(f"  {name:<{width}}  n={int(row['count'])} {cells}")
+        for violation in report.invariants.violations:
+            if violation.invariant == "operation-slo":
+                print(f"  FAIL  {violation.detail}")
+        return 0 if report.passed else 1
+    # Built-in workload: one object, N writes, N reads, end to end.
+    system = OceanStoreSystem(
+        DeploymentConfig(
+            seed=args.seed,
+            topology=TopologyParams(
+                transit_nodes=4, stubs_per_transit=2, nodes_per_stub=5
+            ),
+            telemetry=TelemetryConfig(
+                enabled=True, slo_thresholds=thresholds
+            ),
+        )
+    )
+    alice = make_client(system, "alice", seed=args.seed + 1)
+    obj = alice.create_object("slo-object")
+    for i in range(args.writes):
+        alice.write(obj, f"slo-payload-{i}".encode())
+    for _ in range(args.reads):
+        alice.read(obj)
+    system.settle()
+    recorder = system.telemetry.slo
+    assert recorder is not None
+    if args.json:
+        print(json.dumps(recorder.summary(), indent=2))
+    else:
+        print(recorder.render())
+    return 1 if recorder.check() else 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    ring_count = args.ring_count
+    system = OceanStoreSystem(
+        DeploymentConfig(
+            seed=args.seed,
+            ring_count=ring_count,
+            topology=TopologyParams(
+                transit_nodes=max(8, 4 * ring_count),
+                stubs_per_transit=1,
+                nodes_per_stub=2,
+            ),
+            archive_every_commit=False,
+            recovery=RecoveryConfig(enabled=args.crash > 0),
+        )
+    )
+    author = make_principal(
+        "health-author", random.Random(args.seed + 7), bits=256
+    )
+    guid_by_shard: dict[int, object] = {}
+    name_index = 0
+    while len(guid_by_shard) < ring_count:
+        guid = object_guid(author.public_key, f"health-{name_index}")
+        name_index += 1
+        shard_id = system.rings.shard_of(guid).shard_id
+        if shard_id in guid_by_shard:
+            continue
+        guid_by_shard[shard_id] = guid
+        system.create_object(guid)
+    system.settle()
+    stubs = sorted(
+        n for n, d in system.graph.nodes(data=True) if d["kind"] == "stub"
+    )
+    for shard_id in sorted(guid_by_shard):
+        for i in range(args.updates):
+            update = make_update(
+                author,
+                guid_by_shard[shard_id],
+                [
+                    UpdateBranch(
+                        TruePredicate(),
+                        (AppendBlock(f"health-{shard_id}-u{i}".encode()),),
+                    )
+                ],
+                float(i),
+            )
+            system.submit_update(stubs[shard_id % len(stubs)], update)
+    system.settle()
+    if args.crash > 0:
+        ring_nodes = {n for shard in system.rings.shards for n in shard.members}
+        victims = [n for n in stubs if n not in ring_nodes][: args.crash]
+        for node in victims:
+            system.injector.crash(node)
+        # Long enough for the failure detector to cross its suspicion
+        # threshold, so the snapshot shows the suspects.
+        system.settle(10_000.0)
+    print(json.dumps(system.health_snapshot(), indent=2))
+    return 0
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "topology": cmd_topology,
@@ -616,6 +937,9 @@ _COMMANDS = {
     "flightrec": cmd_flightrec,
     "chaos": cmd_chaos,
     "rings": cmd_rings,
+    "profile": cmd_profile,
+    "slo": cmd_slo,
+    "health": cmd_health,
 }
 
 

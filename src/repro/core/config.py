@@ -36,6 +36,13 @@ class ChaosConfig:
     #: ``True``/``False`` force it -- forcing it off is how the oracle
     #: is shown to catch the unrepaired failures
     recovery: bool | None = None
+    #: run the scenario with the kernel profiler attached; the report
+    #: then carries a (subsystem, phase) attribution snapshot
+    profile: bool = False
+    #: SLO limits threaded into the scenario's TelemetryConfig; when
+    #: non-empty the runner judges them as an ``operation-slo``
+    #: invariant (default empty: record, never judge, digests unchanged)
+    slo_thresholds: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.duration_ms <= 0:

@@ -143,6 +143,10 @@ class OceanStoreSystem:
                         "kernel", kind, at=time_ms, callback=label
                     )
                 )
+            if self.telemetry.profiler is not None:
+                # Opt-in kernel profiler: every fired callback is wall-
+                # clocked and attributed to a (subsystem, phase) bucket.
+                self.kernel.profiler = self.telemetry.profiler
         self.graph = build_transit_stub_topology(
             self.config.topology, seeds.derive("topology")
         )
@@ -343,6 +347,8 @@ class OceanStoreSystem:
     def create_object(self, object_guid: GUID) -> None:
         if object_guid in self.tiers:
             return
+        slo = self.telemetry.slo
+        started = self.kernel.now
         shard = self.rings.resolve(object_guid)
         for node in shard.members:
             self.servers[node].get_or_create_object(object_guid)
@@ -373,6 +379,10 @@ class OceanStoreSystem:
                 self.recovery.register_publication(node, object_guid)
         self._object_seq[object_guid] = 0
         self.probabilistic.converge()
+        if slo is not None:
+            slo.observe(
+                "create", self.kernel.now - started, ring=shard.shard_id
+            )
 
     def read_state(
         self,
@@ -385,6 +395,11 @@ class OceanStoreSystem:
             raise UnknownObject(f"no such object: {object_guid}")
         client = client_node if client_node is not None else self.ring_nodes[0]
         tel = self.telemetry
+        slo = tel.slo
+        started = self.kernel.now
+        shard_id = (
+            self.rings.shard_of(object_guid).shard_id if slo is not None else 0
+        )
         if tel.enabled:
             tel.count("reads_total", tentative="yes" if allow_tentative else "no")
         with tel.span("read", client=client):
@@ -407,11 +422,22 @@ class OceanStoreSystem:
                     state = fallback
                 if state.version >= min_version:
                     break
-        if state is None:
-            raise UnknownObject(f"no replica holds object {object_guid}")
-        if state.version < min_version:
+        if state is None or state.version < min_version:
+            if slo is not None:
+                slo.observe(
+                    "read",
+                    self.kernel.now - started,
+                    ring=shard_id,
+                    result="error",
+                )
+            if state is None:
+                raise UnknownObject(f"no replica holds object {object_guid}")
             raise UnknownObject(
                 f"object {object_guid} not yet at version {min_version}"
+            )
+        if slo is not None:
+            slo.observe(
+                "read", self.kernel.now - started, ring=shard_id, result="ok"
             )
         return state.copy()
 
@@ -450,6 +476,11 @@ class OceanStoreSystem:
         client = client_node if client_node is not None else self.ring_nodes[0]
         deadline = self.kernel.now + retry.deadline_ms
         tel = self.telemetry
+        slo = tel.slo
+        started = self.kernel.now
+        shard_id = (
+            self.rings.shard_of(object_guid).shard_id if slo is not None else 0
+        )
 
         def rung(name: str, result: str, **detail) -> None:
             if tel.enabled:
@@ -462,6 +493,21 @@ class OceanStoreSystem:
                     object=object_guid,
                     **detail,
                 )
+            if slo is not None:
+                elapsed = self.kernel.now - started
+                # Per-rung ladder timing: how deep desperation went, and
+                # how long each rung cost, in simulated time.
+                slo.observe(
+                    "read_degraded.rung",
+                    elapsed,
+                    ring=shard_id,
+                    rung=name,
+                    result=result,
+                )
+                if result == "hit":
+                    slo.observe(
+                        "read_degraded", elapsed, ring=shard_id, rung=name
+                    )
 
         def usable(node: NodeId) -> DataObjectState | None:
             state = self._state_at(object_guid, node, allow_tentative)
@@ -536,6 +582,13 @@ class OceanStoreSystem:
             rung("archival", "hit", version=version)
             return state
         rung("archival", "miss")
+        if slo is not None:
+            slo.observe(
+                "read_degraded",
+                self.kernel.now - started,
+                ring=shard_id,
+                rung="exhausted",
+            )
         raise UnknownObject(
             f"degraded read of {object_guid} exhausted its ladder within "
             f"{retry.deadline_ms:.0f}ms"
@@ -550,6 +603,12 @@ class OceanStoreSystem:
         if tel.enabled:
             tel.count("updates_submitted_total")
         shard = self.rings.resolve(update.object_guid, client=client_node)
+        if tel.slo is not None:
+            # The user-facing update clock: starts at first submission
+            # (retries keep the original start), stops at commit delivery
+            # -- keyed by update id, so it survives shard resolution and
+            # mid-flight membership handoffs.
+            tel.slo.begin("update", update.update_id, ring=shard.shard_id)
         with tel.span("update.submit", client=client_node):
             if shard.transitioning and self.handoff is not None:
                 # Membership handoff in flight: the update parks in the
@@ -579,6 +638,75 @@ class OceanStoreSystem:
     def settle(self, window_ms: float = 30_000.0) -> None:
         """Run the simulation until in-flight protocol work completes."""
         self.kernel.run(until=self.kernel.now + window_ms)
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def health_snapshot(self) -> dict:
+        """One JSON blob of control-plane health: per-shard ring state,
+        failure-detector suspicion, and handoff progress.
+
+        The ``repro health`` CLI prints this; it is the observation input
+        a future autoscaling loop (ROADMAP item 5) would act on.
+        """
+        suspected: list[NodeId] = []
+        suspicion: dict[str, int] = {}
+        if self.recovery is not None:
+            detector = self.recovery.detector
+            suspected = sorted(detector.suspected)
+            suspicion = {
+                str(node): rounds
+                for node, rounds in sorted(detector.suspicion.items())
+                if rounds > 0
+            }
+        shards = []
+        for shard in self.rings.shards:
+            dead = sorted(
+                n
+                for n in shard.members
+                if self.network.is_down(n) or n in suspected
+            )
+            shards.append(
+                {
+                    "shard": shard.shard_id,
+                    "epoch": shard.epoch,
+                    "range": shard.range.describe(),
+                    "members": list(shard.members),
+                    "committed": len(shard.ring.committed_order),
+                    "transitioning": shard.transitioning,
+                    "degraded": bool(dead),
+                    "degraded_members": dead,
+                    "retired_epochs": [e for e, _ in shard.retired],
+                }
+            )
+        handoffs: dict[str, object] = {
+            "enabled": self.handoff is not None,
+            "completed": 0,
+            "retries": 0,
+            "abandoned": 0,
+            "active": [],
+        }
+        if self.handoff is not None:
+            handoffs.update(
+                completed=self.handoff.stats_handoffs,
+                retries=self.handoff.stats_retries,
+                abandoned=self.handoff.stats_abandoned,
+                active=self.handoff.active_handoffs(),
+            )
+        return {
+            "time_ms": self.kernel.now,
+            "ring_count": self.rings.ring_count,
+            "sharded": self.rings.sharded,
+            "shards": shards,
+            "fenced_commits": self.rings.stats_fenced_commits,
+            "down_nodes": sorted(
+                n for n in self.network.nodes() if self.network.is_down(n)
+            ),
+            "suspected": suspected,
+            "suspicion_rounds": suspicion,
+            "handoffs": handoffs,
+        }
 
     # ------------------------------------------------------------------
     # Internal update-path plumbing
@@ -664,6 +792,11 @@ class OceanStoreSystem:
             self._object_seq[guid] = object_seq + 1
             tier.push_committed(object_seq, update)
         committed = outcome is not None and outcome.committed
+        slo = self.telemetry.slo
+        if slo is not None:
+            slo.end(
+                update.update_id, committed="yes" if committed else "no"
+            )
         self._callbacks.notify(
             Notification(
                 event=ApiEvent.UPDATE_COMMITTED if committed else ApiEvent.UPDATE_ABORTED,

@@ -103,6 +103,10 @@ class Kernel:
         #: Labels are captured before trace wrapping so they name the
         #: real callback, deterministically.
         self.event_hook: Callable[[str, float, str], None] | None = None
+        #: optional callback profiler (kernel stays telemetry-import-free:
+        #: any object with on_fire(label, elapsed_s, time_ms, pending));
+        #: when installed, every fired event is wall-clocked and labelled
+        self.profiler = None
         #: max events per run() before SimulationError (None = unlimited)
         self.step_cap: int | None = None
         #: max real seconds per run() before SimulationError (None = unlimited)
@@ -135,7 +139,9 @@ class Kernel:
         """
         if time < self._now:
             raise SimulationError(f"cannot schedule at {time} < now {self._now}")
-        if self.event_hook is not None and label is None:
+        if label is None and (
+            self.event_hook is not None or self.profiler is not None
+        ):
             # Name the event now, while the callback is still unwrapped;
             # the label also improves guard diagnostics for free.
             label = _callback_name(callback)
@@ -201,7 +207,18 @@ class Kernel:
                 self.event_hook(
                     "fire", event.time, event.label or "<callable>"
                 )
-            event.callback()
+            profiler = self.profiler
+            if profiler is None:
+                event.callback()
+            else:
+                started = time.perf_counter()
+                event.callback()
+                profiler.on_fire(
+                    event.label,
+                    time.perf_counter() - started,
+                    event.time,
+                    len(self._queue),
+                )
             last_event = event
             executed += 1
             self._events_executed += 1
@@ -219,7 +236,18 @@ class Kernel:
                 self.event_hook(
                     "fire", event.time, event.label or "<callable>"
                 )
-            event.callback()
+            profiler = self.profiler
+            if profiler is None:
+                event.callback()
+            else:
+                started = time.perf_counter()
+                event.callback()
+                profiler.on_fire(
+                    event.label,
+                    time.perf_counter() - started,
+                    event.time,
+                    len(self._queue),
+                )
             self._events_executed += 1
             return True
         return False

@@ -403,9 +403,14 @@ class Network:
         # hence every span the destination handler opens) binds to the
         # span that was current at send time.  Duplicated copies trail
         # the original by one processing overhead each.
+        label = None
+        if self.kernel.event_hook is not None or self.kernel.profiler is not None:
+            # The profiler attributes delivery wall time to the message's
+            # own phase tag; built only when someone is listening.
+            label = f"net.deliver:{sub}/{ph}"
         for i in range(copies):
             self.kernel.call_after(
-                delay + i * self.PER_MESSAGE_OVERHEAD_MS, deliver
+                delay + i * self.PER_MESSAGE_OVERHEAD_MS, deliver, label=label
             )
 
     def phase_report(self) -> dict[str, dict[str, dict[str, int]]]:

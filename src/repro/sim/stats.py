@@ -93,19 +93,30 @@ class Distribution:
     def median(self) -> float:
         return self.percentile(50)
 
-    def summary(self) -> dict[str, float]:
+    #: quantiles every summary reports unless the caller chooses its own
+    DEFAULT_QUANTILES: tuple[float, ...] = (50.0, 90.0, 95.0, 99.0)
+
+    @staticmethod
+    def quantile_key(q: float) -> str:
+        """``p95`` for 95.0, ``p99.9`` for 99.9 -- stable summary keys."""
+        if float(q).is_integer():
+            return f"p{int(q)}"
+        return f"p{q:g}"
+
+    def summary(
+        self, quantiles: tuple[float, ...] | None = None
+    ) -> dict[str, float]:
         self._require_samples()
-        return {
+        out = {
             "count": float(self.count),
             "mean": self.mean,
             "stdev": self.stdev,
             "min": self.min,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
-            "max": self.max,
         }
+        for q in quantiles if quantiles is not None else self.DEFAULT_QUANTILES:
+            out[self.quantile_key(q)] = self.percentile(q)
+        out["max"] = self.max
+        return out
 
 
 class Counter:

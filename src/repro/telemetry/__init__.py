@@ -29,7 +29,7 @@ accept any object with this interface, keeping :mod:`repro.sim` a leaf.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.telemetry.flightrec import FlightEvent, FlightRecorder
@@ -39,6 +39,8 @@ from repro.telemetry.metrics import (
     flatten_name,
     label_key,
 )
+from repro.telemetry.profiler import KernelProfiler
+from repro.telemetry.slo import SLORecorder, SLOViolation
 from repro.telemetry.tracing import NULL_SPAN, Span, Tracer
 
 
@@ -54,6 +56,10 @@ class NullTelemetry:
     enabled = False
     #: no recorder when disabled (mirrors :attr:`Telemetry.flight`)
     flight = None
+    #: no kernel profiler when disabled (mirrors :attr:`Telemetry.profiler`)
+    profiler = None
+    #: no SLO recorder when disabled (mirrors :attr:`Telemetry.slo`)
+    slo = None
 
     def count(self, name: str, value: float = 1, **labels: object) -> None:
         return None
@@ -110,6 +116,16 @@ class TelemetryConfig:
     #: also record kernel schedule/fire events (noisy: one event per
     #: scheduled callback, so protocol events evict fast; opt-in)
     flight_kernel: bool = False
+    #: kernel profiler: per-(subsystem, phase) wall/event attribution of
+    #: callback execution (opt-in -- wall clocks are machine-dependent)
+    profile: bool = False
+    #: record end-user operation SLO latencies (cheap sim-time histograms)
+    slo: bool = True
+    #: quantiles reported in metric histogram summaries and tables
+    quantiles: tuple[float, ...] = (50.0, 90.0, 95.0, 99.0)
+    #: declarative SLO limits: op -> {"p95": limit_ms, ...}; empty means
+    #: record but never judge
+    slo_thresholds: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.max_label_sets < 1:
@@ -118,6 +134,23 @@ class TelemetryConfig:
             raise ValueError("max_spans must be >= 0")
         if self.flight_capacity < 1:
             raise ValueError("flight_capacity must be >= 1")
+        if not self.quantiles:
+            raise ValueError("quantiles must be non-empty")
+        for q in self.quantiles:
+            if not 0 <= q <= 100:
+                raise ValueError(f"quantile out of range: {q}")
+        for op, spec in self.slo_thresholds.items():
+            for qname, limit in spec.items():
+                if not qname.startswith("p"):
+                    raise ValueError(
+                        f"slo_thresholds[{op!r}]: quantile keys look like "
+                        f"'p95', got {qname!r}"
+                    )
+                float(qname.lstrip("p"))  # must parse
+                if limit < 0:
+                    raise ValueError(
+                        f"slo_thresholds[{op!r}][{qname!r}] must be >= 0"
+                    )
 
 
 class Telemetry:
@@ -140,6 +173,17 @@ class Telemetry:
         self.flight: FlightRecorder | None = (
             FlightRecorder(capacity=self.config.flight_capacity, clock=clock)
             if self.config.flight
+            else None
+        )
+        #: kernel callback profiler; the deployment installs it as
+        #: ``kernel.profiler`` (the kernel stays telemetry-import-free)
+        self.profiler: KernelProfiler | None = (
+            KernelProfiler() if self.config.profile else None
+        )
+        #: end-user operation latency recorder (sim time, deterministic)
+        self.slo: SLORecorder | None = (
+            SLORecorder(clock=clock, thresholds=self.config.slo_thresholds)
+            if self.config.slo
             else None
         )
 
@@ -180,7 +224,7 @@ class Telemetry:
     def export(self, spans: bool = False, flight: bool = False) -> dict:
         """JSON-able snapshot; pass ``spans=True`` to include the trace
         forest and ``flight=True`` the flight-recorder timeline."""
-        out = self.metrics.export()
+        out = self.metrics.export(quantiles=self.config.quantiles)
         if spans:
             out["spans"] = self.tracer.span_tree()
         if flight and self.flight is not None:
@@ -189,6 +233,10 @@ class Telemetry:
                 "evicted": self.flight.evicted,
                 "events": self.flight.to_dicts(),
             }
+        if self.slo is not None and self.slo.ops():
+            out["slo"] = self.slo.summary()
+        if self.profiler is not None and self.profiler.events_total:
+            out["profile"] = self.profiler.snapshot()
         return out
 
     def render_spans(self, max_depth: int | None = None) -> str:
@@ -199,6 +247,10 @@ class Telemetry:
         self.tracer.reset()
         if self.flight is not None:
             self.flight.reset()
+        if self.profiler is not None:
+            self.profiler.reset()
+        if self.slo is not None:
+            self.slo.reset()
 
     @classmethod
     def from_config(
@@ -216,10 +268,13 @@ __all__ = [
     "DISABLED",
     "FlightEvent",
     "FlightRecorder",
+    "KernelProfiler",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullTelemetry",
     "OVERFLOW_KEY",
+    "SLORecorder",
+    "SLOViolation",
     "Span",
     "Telemetry",
     "TelemetryConfig",

@@ -112,10 +112,13 @@ class MetricsRegistry:
 
     # -- export -----------------------------------------------------------
 
-    def export(self) -> dict:
+    def export(self, quantiles: tuple[float, ...] | None = None) -> dict:
         """Plain JSON-able dict, same shape discipline as the
         ``benchmarks/results/*.json`` files (string keys, numbers/dicts
         as values) so traces and benchmark series can live side by side.
+
+        ``quantiles`` overrides the default p50/p90/p95/p99 keys in
+        histogram summaries (SLO reporting wants p99.9 and friends).
         """
         out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
         for name, series in sorted(self._counters.items()):
@@ -126,7 +129,9 @@ class MetricsRegistry:
                 out["gauges"][flatten_name(name, key)] = value
         for name, series in sorted(self._histograms.items()):
             for key, dist in sorted(series.items()):
-                out["histograms"][flatten_name(name, key)] = dist.summary()
+                out["histograms"][flatten_name(name, key)] = dist.summary(
+                    quantiles
+                )
         if self.dropped_label_sets:
             out["dropped_label_sets"] = dict(sorted(self.dropped_label_sets.items()))
         return out

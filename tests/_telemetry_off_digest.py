@@ -1,0 +1,73 @@
+"""Telemetry-OFF behavioural digest used by the zero-overhead guard test.
+
+With telemetry disabled there is no flight recorder, so the observables
+are the raw deterministic outputs of a fixed workload: the committed
+update order, the version log, the serialized primary state, the network
+totals and phase stats, and the kernel event count.  Any change to these
+under ``TelemetryConfig(enabled=False)`` means an "opt-in" observability
+feature leaked onto the default path.
+
+``python tests/_telemetry_off_digest.py`` prints the digest for the
+current tree; the copy captured before the observatory PR lives in
+``tests/data/telemetry_off_digest.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+
+def telemetry_off_digest() -> dict:
+    """Deterministic observables of a fixed workload, telemetry disabled."""
+    from repro.core import DeploymentConfig, OceanStoreSystem, make_client
+    from repro.core.system import serialize_state
+    from repro.sim import TopologyParams
+    from repro.telemetry import TelemetryConfig
+
+    system = OceanStoreSystem(
+        DeploymentConfig(
+            seed=1234,
+            topology=TopologyParams(
+                transit_nodes=4, stubs_per_transit=2, nodes_per_stub=4
+            ),
+            telemetry=TelemetryConfig(enabled=False),
+        )
+    )
+    client = make_client(system, "fingerprint-author", seed=99)
+    obj = client.create_object("fingerprint-object")
+    for i in range(3):
+        client.write(obj, f"fingerprint-payload-{i}".encode() * 8)
+    system.settle()
+    primary = system.servers[system.ring_nodes[0]].objects[obj.guid]
+    state_hash = hashlib.sha256(serialize_state(primary.active)).hexdigest()
+    log_lines = [
+        f"{entry.update_id.hex()}:{entry.committed}:{entry.resulting_version}"
+        for entry in primary.log.history()
+    ]
+    fields = {
+        "committed_order": [
+            u.update_id.hex() for u in system.ring.committed_order
+        ],
+        "version_log": log_lines,
+        "state_sha256": state_hash,
+        "messages_total": system.network.stats_total_messages,
+        "bytes_total": system.network.stats_total_bytes,
+        "events_executed": system.kernel.events_executed,
+        "final_time_ms": system.kernel.now,
+        "phase_stats": {
+            f"{sub}/{phase}": [stats.messages, stats.bytes]
+            for (sub, phase), stats in sorted(system.network.phase_stats.items())
+        },
+    }
+    blob = json.dumps(fields, sort_keys=True).encode()
+    fields["digest"] = hashlib.sha256(blob).hexdigest()
+    return fields
+
+
+if __name__ == "__main__":
+    print(json.dumps(telemetry_off_digest(), indent=2, sort_keys=True))

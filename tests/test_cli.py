@@ -47,6 +47,67 @@ class TestCLI:
         assert len(report["directory"]) == 1
         assert report["commits"][0]["committed"] == 2
 
+    def test_profile(self, capsys):
+        assert main(["profile", "--scenario", "pbft-silent", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel profile:" in out
+        assert "attributed wall time:" in out
+
+    def test_slo_workload_with_thresholds(self, capsys):
+        assert main([
+            "slo", "--writes", "2", "--reads", "2",
+            "--threshold", "update:p95:3600000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "update" in out
+        assert "all met" in out
+
+    def test_slo_violated_threshold_exits_nonzero(self, capsys):
+        assert main([
+            "slo", "--writes", "1", "--reads", "1",
+            "--threshold", "update:p95:0.001",
+        ]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_slo_bad_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["slo", "--threshold", "nonsense"])
+
+    def test_health_json(self, capsys):
+        import json
+
+        assert main(["health", "--ring-count", "2"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ring_count"] == 2
+        assert len(report["shards"]) == 2
+        assert report["handoffs"]["enabled"] is False
+
+    def test_health_crash_surfaces_suspects(self, capsys):
+        import json
+
+        assert main(["health", "--ring-count", "1", "--crash", "2"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["down_nodes"]) == 2
+        assert report["suspected"] == report["down_nodes"]
+
+    def test_flightrec_export_perfetto(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.perfetto.json"
+        assert main([
+            "flightrec", "--scenario", "update-path",
+            "--export-perfetto", str(target),
+        ]) == 0
+        document = json.loads(target.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["traceEvents"]
+
+    def test_telemetry_custom_quantiles(self, capsys):
+        assert main(["telemetry", "--quantiles", "50,99.9"]) == 0
+        out = capsys.readouterr().out
+        assert "p99.9=" in out
+        assert "p95=" not in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

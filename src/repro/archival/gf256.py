@@ -32,6 +32,22 @@ def _build_tables() -> None:
 
 _build_tables()
 
+#: Full 256x256 product table (64 KiB): ``_MUL[a, b] = a * b`` in
+#: GF(256).  Lets :func:`gf_matmul` run as one fancy-index gather plus
+#: an XOR reduction instead of r*k separate vector ops -- the per-call
+#: numpy overhead of the loop form dwarfed the arithmetic for the small
+#: fragments archival actually encodes.
+_MUL = np.zeros((256, 256), dtype=np.uint8)
+
+
+def _build_mul_table() -> None:
+    nz = np.arange(1, 256)
+    logs = _LOG[nz]
+    _MUL[1:, 1:] = _EXP[logs[:, None] + logs[None, :]]
+
+
+_build_mul_table()
+
 
 def gf_mul(a: int, b: int) -> int:
     """Scalar multiply in GF(256)."""
@@ -75,19 +91,17 @@ def gf_mul_bytes(scalar: int, data: np.ndarray) -> np.ndarray:
 
 
 def gf_matmul(matrix: np.ndarray, data: np.ndarray) -> np.ndarray:
-    """Matrix (r x k) times data (k x L) over GF(256)."""
+    """Matrix (r x k) times data (k x L) over GF(256).
+
+    One table gather of shape (r, k, L) followed by an XOR reduction
+    over k -- identical output to the scalar definition, but the work is
+    a single vectorized expression regardless of matrix shape.
+    """
     rows, k = matrix.shape
     if data.shape[0] != k:
         raise ValueError(f"shape mismatch: matrix k={k}, data rows={data.shape[0]}")
-    out = np.zeros((rows, data.shape[1]), dtype=np.uint8)
-    for i in range(rows):
-        acc = np.zeros(data.shape[1], dtype=np.uint8)
-        for j in range(k):
-            coeff = int(matrix[i, j])
-            if coeff:
-                acc ^= gf_mul_bytes(coeff, data[j])
-        out[i] = acc
-    return out
+    products = _MUL[matrix.astype(np.uint8)[:, :, None], data[None, :, :]]
+    return np.bitwise_xor.reduce(products, axis=1)
 
 
 def gf_mat_inv(matrix: np.ndarray) -> np.ndarray:

@@ -327,6 +327,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "have something to report (enables the recovery layer)",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="seed-parallel chaos or bench sweeps (opt-in multiprocessing)",
+    )
+    sweep.add_argument(
+        "--kind",
+        choices=("chaos", "bench"),
+        default="chaos",
+        help="what to sweep (default: chaos)",
+    )
+    sweep.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS) + ["all"],
+        default="all",
+        help="chaos scenario to sweep (default: all)",
+    )
+    sweep.add_argument(
+        "--bench",
+        default="events_per_second",
+        help="bench name for --kind bench (see benchmarks/harness.py list)",
+    )
+    sweep.add_argument(
+        "--seeds",
+        default="0-3",
+        metavar="SPEC",
+        help='seed list: "0-7", "0,3,11", or a single seed (default 0-3)',
+    )
+    sweep.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes; 1 (default) runs inline with no "
+        "multiprocessing -- the byte-identical reference mode",
+    )
+    sweep.add_argument(
+        "--fast", action="store_true", help="fast bench variants"
+    )
+    sweep.add_argument(
+        "--json", action="store_true", help="emit the merged result as JSON"
+    )
+
     return parser
 
 
@@ -928,6 +969,52 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import (
+        merge_bench_results,
+        merge_chaos_results,
+        parse_seed_spec,
+        sweep_bench,
+        sweep_chaos,
+    )
+
+    try:
+        seeds = parse_seed_spec(args.seeds)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.kind == "bench":
+        results = sweep_bench(
+            [args.bench], seeds, processes=args.processes, fast=args.fast
+        )
+        merged = merge_bench_results(results)
+        if args.json:
+            print(json.dumps(merged, indent=2, sort_keys=True))
+        else:
+            for name, envelopes in merged.items():
+                print(f"{name}: {len(envelopes)} seeds")
+                for envelope in envelopes:
+                    wall = envelope["timings"].get("wall_seconds", 0.0)
+                    print(f"  seed {envelope['meta']['seed']}: {wall:.2f}s wall")
+        return 0
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    results = sweep_chaos(names, seeds, processes=args.processes)
+    merged = merge_chaos_results(results)
+    if args.json:
+        print(json.dumps(merged, indent=2, sort_keys=True))
+    else:
+        for r in results:
+            status = "ok" if r["passed"] else "FAIL"
+            print(
+                f"  {r['scenario']:<24} seed {r['seed']:<4} {status}  "
+                f"{r['trace_digest'][:16]}"
+            )
+        print(
+            f"{merged['passed']}/{merged['total']} tasks passed "
+            f"({args.processes} process(es))"
+        )
+    return 0 if merged["all_passed"] else 1
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "topology": cmd_topology,
@@ -940,6 +1027,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "slo": cmd_slo,
     "health": cmd_health,
+    "sweep": cmd_sweep,
 }
 
 

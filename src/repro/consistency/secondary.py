@@ -164,43 +164,55 @@ class SecondaryReplica:
         committed pushes would silently apply to another object's
         replica on a shared node.
         """
-        payload = message.payload
+        # Exact-type dispatch (payload classes are flat); heartbeat pings
+        # sweep every node each round, so the miss case -- a payload type
+        # this tier does not speak -- must be one dict lookup, not a
+        # six-branch isinstance chain.
+        handler = _SECONDARY_DISPATCH.get(type(message.payload))
+        if handler is not None:
+            handler(self, message.payload)
+
+    def _on_tentative_gossip(self, payload: TentativeGossip) -> None:
         guid = self.tier.object_guid
-        if isinstance(payload, TentativeGossip):
-            for update in payload.updates:
-                if update.object_guid == guid:
-                    self.add_tentative(update)
-        elif isinstance(payload, AntiEntropyRequest):
-            if payload.object_guid == guid:
-                self._serve_anti_entropy(payload)
-        elif isinstance(payload, CommittedPush):
-            if payload.update.object_guid != guid:
-                return
+        for update in payload.updates:
+            if update.object_guid == guid:
+                self.add_tentative(update)
+
+    def _on_anti_entropy_request(self, payload: AntiEntropyRequest) -> None:
+        if payload.object_guid == self.tier.object_guid:
+            self._serve_anti_entropy(payload)
+
+    def _on_committed_push(self, payload: CommittedPush) -> None:
+        if payload.update.object_guid != self.tier.object_guid:
+            return
+        self.apply_committed(payload.seq, payload.update)
+        self.tier._forward_down_tree(self.network_id, payload)
+
+    def _on_invalidation(self, payload: Invalidation) -> None:
+        if payload.object_guid != self.tier.object_guid:
+            return
+        if payload.seq > self.committed_through:
+            self.invalidated[payload.seq] = payload
+            self._invalidate_cache()
+        self.tier._forward_down_tree(self.network_id, payload)
+
+    def _on_pull_request(self, payload: PullRequest) -> None:
+        if payload.object_guid != self.tier.object_guid:
+            return
+        update = self.committed_updates.get(payload.seq)
+        if update is not None:
+            self.tier.network.send(
+                self.network_id,
+                payload.sender,
+                PullResponse(seq=payload.seq, update=update),
+                size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
+                phase="pull",
+                subsystem="dissemination",
+            )
+
+    def _on_pull_response(self, payload: PullResponse) -> None:
+        if payload.update.object_guid == self.tier.object_guid:
             self.apply_committed(payload.seq, payload.update)
-            self.tier._forward_down_tree(self.network_id, payload)
-        elif isinstance(payload, Invalidation):
-            if payload.object_guid != guid:
-                return
-            if payload.seq > self.committed_through:
-                self.invalidated[payload.seq] = payload
-                self._invalidate_cache()
-            self.tier._forward_down_tree(self.network_id, payload)
-        elif isinstance(payload, PullRequest):
-            if payload.object_guid != guid:
-                return
-            update = self.committed_updates.get(payload.seq)
-            if update is not None:
-                self.tier.network.send(
-                    self.network_id,
-                    payload.sender,
-                    PullResponse(seq=payload.seq, update=update),
-                    size_bytes=update.size_bytes() + SMALL_MESSAGE_BYTES,
-                    phase="pull",
-                    subsystem="dissemination",
-                )
-        elif isinstance(payload, PullResponse):
-            if payload.update.object_guid == guid:
-                self.apply_committed(payload.seq, payload.update)
 
     def _serve_anti_entropy(self, request: AntiEntropyRequest) -> None:
         known = set(request.known_tentative)
@@ -287,6 +299,19 @@ class SecondaryReplica:
             )
 
 
+#: payload type -> bound handler for :meth:`SecondaryReplica.handle`;
+#: unknown types (heartbeats, PBFT traffic on a shared node) miss the
+#: dict and are ignored, as the isinstance chain did.
+_SECONDARY_DISPATCH = {
+    TentativeGossip: SecondaryReplica._on_tentative_gossip,
+    AntiEntropyRequest: SecondaryReplica._on_anti_entropy_request,
+    CommittedPush: SecondaryReplica._on_committed_push,
+    Invalidation: SecondaryReplica._on_invalidation,
+    PullRequest: SecondaryReplica._on_pull_request,
+    PullResponse: SecondaryReplica._on_pull_response,
+}
+
+
 class SecondaryTier:
     """All secondary replicas of one object, plus their dissemination tree.
 
@@ -323,6 +348,11 @@ class SecondaryTier:
 
     def _root_handle(self, message: Message) -> None:
         payload = message.payload
+        # cheap exact-type reject: this runs for every message delivered
+        # to the root node, heartbeat acks included
+        t = type(payload)
+        if t is not PullRequest and t is not AntiEntropyRequest:
+            return
         if isinstance(payload, PullRequest):
             if payload.object_guid != self.object_guid:
                 return

@@ -150,7 +150,14 @@ class OceanStoreSystem:
         self.graph = build_transit_stub_topology(
             self.config.topology, seeds.derive("topology")
         )
-        self.network = Network(self.kernel, self.graph, telemetry=self.telemetry)
+        self.network = Network(
+            self.kernel,
+            self.graph,
+            telemetry=self.telemetry,
+            hash_bodies=self.config.hash_bodies,
+        )
+        if self.config.telemetry.net_body_digests:
+            self.network.record_body_digests = True
         self.injector = FailureInjector(self.kernel, self.network, seeds.derive("failures"))
         #: per-link message fault schedules; attached only when chaos is
         #: enabled so ordinary deployments skip the per-send rule check

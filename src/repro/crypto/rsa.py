@@ -22,6 +22,12 @@ from repro.crypto.hashes import sha256
 
 _MILLER_RABIN_ROUNDS = 24
 
+#: memoized signature checks (pure function of key + message + signature);
+#: cleared wholesale at the cap -- simpler than LRU and the working set
+#: of any one simulation is far below it
+_VERIFY_CACHE: dict[tuple[int, int, bytes, bytes], bool] = {}
+_VERIFY_CACHE_CAP = 8192
+
 _SMALL_PRIMES = [
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
     71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
@@ -87,12 +93,26 @@ class PublicKey:
         return cls(n=n, e=e)
 
     def verify(self, message: bytes, signature: bytes) -> bool:
-        """Check a full-domain-hash RSA signature.  Never raises on bad input."""
+        """Check a full-domain-hash RSA signature.  Never raises on bad input.
+
+        Results are memoized process-wide: verification is a pure
+        function of ``(n, e, message, signature)``, and PBFT re-verifies
+        the same share or client signature at every replica that receives
+        it -- one modular exponentiation instead of n.
+        """
+        key = (self.n, self.e, message, signature)
+        cached = _VERIFY_CACHE.get(key)
+        if cached is not None:
+            return cached
         sig_int = int.from_bytes(signature, "big")
         if not 0 < sig_int < self.n:
-            return False
-        recovered = pow(sig_int, self.e, self.n)
-        return recovered == _fdh(message, self.n)
+            result = False
+        else:
+            result = pow(sig_int, self.e, self.n) == _fdh(message, self.n)
+        if len(_VERIFY_CACHE) >= _VERIFY_CACHE_CAP:
+            _VERIFY_CACHE.clear()
+        _VERIFY_CACHE[key] = result
+        return result
 
 
 @dataclass(frozen=True, slots=True)

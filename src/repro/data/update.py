@@ -336,6 +336,12 @@ class Update:
     client_key: PublicKey
     update_id: bytes
     signature: bytes
+    #: per-instance memo of :meth:`signed_bytes` -- the update is frozen,
+    #: so the encoding is computed at most once per object no matter how
+    #: many replicas re-verify, re-hash, or re-measure it
+    _signed_cache: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def payload_dict(self) -> dict:
         return {
@@ -352,7 +358,11 @@ class Update:
         }
 
     def signed_bytes(self) -> bytes:
-        return serialization.encode(self.payload_dict())
+        cached = self._signed_cache
+        if cached is None:
+            cached = serialization.encode(self.payload_dict())
+            object.__setattr__(self, "_signed_cache", cached)
+        return cached
 
     def verify_signature(self) -> bool:
         return self.client_key.verify(self.signed_bytes(), self.signature)

@@ -28,13 +28,16 @@ from repro.telemetry import coalesce
 HEARTBEAT_BYTES = 64
 
 
-@dataclass(frozen=True, slots=True)
+# slots for footprint, eq=False for a fast __init__ (no frozen
+# per-field __setattr__, no generated __eq__): one ack is allocated per
+# delivered ping, squarely on the kernel's hottest path
+@dataclass(slots=True, eq=False)
 class HeartbeatPing:
     round_no: int
     sender: NodeId
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class HeartbeatAck:
     round_no: int
     sender: NodeId
@@ -153,16 +156,16 @@ class FailureDetector:
             return  # a dead observer observes nothing
         self._round_no += 1
         round_no = self._round_no
+        # Messages are immutable, so every monitored node gets the same
+        # ping object: one allocation per round, not one per node.
+        ping = HeartbeatPing(round_no, self.observer)
+        send = self.network.send
+        observer = self.observer
         for node in self.monitored:
-            self.network.send(
-                self.observer,
-                node,
-                HeartbeatPing(round_no, self.observer),
-                size_bytes=HEARTBEAT_BYTES,
-                phase="heartbeat",
-                subsystem="recovery",
-            )
-        self.kernel.call_after(
+            send(observer, node, ping, HEARTBEAT_BYTES, "heartbeat", "recovery")
+        # fire-and-forget: post_after skips the EventHandle the old
+        # call_after allocated and immediately discarded
+        self.kernel.post_after(
             self.timeout_ms,
             lambda: self._evaluate(round_no),
             label="recovery.heartbeat-timeout",
@@ -172,7 +175,9 @@ class FailureDetector:
 
     def _respond(self, message: Message) -> None:
         payload = message.payload
-        if not isinstance(payload, HeartbeatPing):
+        # exact-type check: this handler runs on every monitored node for
+        # every delivered message, so the miss case must be cheap
+        if type(payload) is not HeartbeatPing:
             return
         if payload.sender != self.observer:
             return
@@ -180,16 +185,18 @@ class FailureDetector:
             message.dst,
             self.observer,
             HeartbeatAck(payload.round_no, message.dst),
-            size_bytes=HEARTBEAT_BYTES,
-            phase="heartbeat",
-            subsystem="recovery",
+            HEARTBEAT_BYTES,
+            "heartbeat",
+            "recovery",
         )
 
     def _handle_ack(self, message: Message) -> None:
         payload = message.payload
-        if isinstance(payload, HeartbeatAck):
-            previous = self._last_ack.get(payload.sender, 0)
-            self._last_ack[payload.sender] = max(previous, payload.round_no)
+        if type(payload) is HeartbeatAck:
+            last_ack = self._last_ack
+            sender = payload.sender
+            if payload.round_no > last_ack.get(sender, 0):
+                last_ack[sender] = payload.round_no
 
     def _evaluate(self, round_no: int) -> None:
         if self.network.is_down(self.observer):

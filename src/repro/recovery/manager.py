@@ -98,6 +98,20 @@ class RecoveryManager:
         self.detector.stop()
         self._refresh_timer.stop()
 
+    def close(self) -> None:
+        """Full teardown: stop both timers and detach the repair loops
+        from the detector.
+
+        ``stop()`` deliberately leaves the suspect/restore subscriptions
+        attached so a stopped manager can be restarted; ``close()`` is
+        for callers that are done with the system object -- sweep-mode
+        workers build and discard many systems per process, and detached
+        listeners keep the repairers (and their meshes) collectable.
+        """
+        self.stop()
+        self._routing_sub.cancel()
+        self._tree_sub.cancel()
+
     # -- publication bookkeeping (delegated) --------------------------------
 
     def register_publication(self, replica_node: NodeId, guid: GUID) -> None:

@@ -59,9 +59,17 @@ class SaltedRouter:
             raise ValueError(f"need at least one salt, got {salts}")
         self.mesh = mesh
         self.salts = salts
+        #: salted-GUID memo: ``with_salt`` is a pure hash, and refresh
+        #: sweeps re-derive the same few lists every period
+        self._salted: dict[GUID, list[GUID]] = {}
 
     def salted_guids(self, object_guid: GUID) -> list[GUID]:
-        return [object_guid.with_salt(i) for i in range(self.salts)]
+        salted = self._salted.get(object_guid)
+        if salted is None:
+            salted = self._salted[object_guid] = [
+                object_guid.with_salt(i) for i in range(self.salts)
+            ]
+        return salted
 
     def roots_of(self, object_guid: GUID) -> list[NodeId]:
         """The (distinct, usually) root nodes across all salts."""

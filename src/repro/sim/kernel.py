@@ -1,12 +1,32 @@
 """Discrete-event simulation kernel.
 
 The paper's prototype ran on a wide-area testbed; we substitute a
-deterministic discrete-event simulator.  The kernel is a classic event
-queue: callbacks scheduled at virtual times, executed in time order, with
-ties broken by insertion sequence so runs are fully deterministic.
+deterministic discrete-event simulator.  The kernel executes callbacks
+scheduled at virtual times in time order, with ties broken by insertion
+sequence so runs are fully deterministic.
 
 Virtual time is measured in milliseconds (floats), matching the paper's
 "assume each message takes 100 ms" framing in Section 4.4.5.
+
+Two interchangeable ready-queue implementations sit behind the kernel
+(``Kernel(scheduler=...)``); both produce the exact same fire order --
+``(time, sequence)`` ascending -- and the differential suite in
+``tests/test_scheduler_differential.py`` holds them to it:
+
+* ``"wheel"`` (default) -- a hierarchical timer wheel: near-future
+  events land in fixed-width buckets by plain ``list.append`` (O(1), no
+  comparisons), the bucket under the cursor is kept as a small heap, and
+  far-future events wait in an overflow heap that refills the wheel as
+  the cursor reaches them.  This is the fast path for the message-delay
+  traffic that dominates simulations.
+* ``"heap"`` -- the classic single binary heap, kept in-tree as the
+  obviously-correct reference scheduler.
+
+Event records are recycled through a bounded freelist (slab), so
+steady-state traffic -- heartbeats, message deliveries -- allocates no
+new event objects.  :class:`EventHandle` carries a generation stamp so
+cancelling a handle whose event already fired (and whose record has
+since been recycled for an unrelated event) is a safe no-op.
 
 Two optional safety/observability hooks (both default off):
 
@@ -22,29 +42,25 @@ Two optional safety/observability hooks (both default off):
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Callable
+from heapq import heapify, heappop, heappush
+from typing import Callable, Iterator
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str | None = field(default=None, compare=False)
+    """One scheduled callback; a plain mutable record so the slab can
+    recycle it.  ``generation`` increments at each recycle so stale
+    :class:`EventHandle` references can detect reuse."""
 
+    __slots__ = ("time", "seq", "callback", "cancelled", "label", "generation")
 
-def _describe_event(event: _ScheduledEvent | None) -> str:
-    if event is None:
-        return "<no event executed>"
-    if event.label is not None:
-        return event.label
-    callback = event.callback
-    return getattr(callback, "__qualname__", None) or repr(callback)
+    def __init__(self) -> None:
+        self.time = 0.0
+        self.seq = 0
+        self.callback: Callable[[], None] | None = None
+        self.cancelled = False
+        self.label: str | None = None
+        self.generation = 0
 
 
 def _callback_name(callback: Callable[[], None]) -> str:
@@ -53,29 +69,236 @@ def _callback_name(callback: Callable[[], None]) -> str:
     return getattr(callback, "__qualname__", None) or type(callback).__name__
 
 
-class EventHandle:
-    """Handle to a scheduled event, allowing cancellation."""
+def _describe_event(event: _ScheduledEvent | None) -> str:
+    if event is None:
+        return "<no event executed>"
+    if event.label is not None:
+        return event.label
+    return _callback_name(event.callback)
 
-    __slots__ = ("_event",)
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation.
+
+    The handle snapshots the event's time and generation at creation;
+    once the event fires its record returns to the slab, and a late
+    ``cancel()`` (the generation no longer matches) touches nothing.
+    """
+
+    __slots__ = ("_event", "_generation", "_time", "_cancelled")
 
     def __init__(self, event: _ScheduledEvent) -> None:
         self._event = event
+        self._generation = event.generation
+        self._time = event.time
+        self._cancelled = False
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._cancelled = True
+        event = self._event
+        if event is not None:
+            if event.generation == self._generation:
+                event.cancelled = True
+            self._event = None
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._cancelled
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._time
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. scheduling in the past) or for a
     run that blows through its step cap / wall-time budget."""
+
+
+class _HeapScheduler:
+    """Reference ready queue: one binary heap of ``(time, seq, event)``.
+
+    Kept in-tree as the ground truth the timer wheel is differentially
+    tested against.  Entries are tuples so heap comparisons stay in C
+    (``seq`` is unique, so the event record itself is never compared).
+    """
+
+    __slots__ = ("_heap", "_release")
+
+    def __init__(self, release: Callable[[_ScheduledEvent], None]) -> None:
+        self._heap: list[tuple[float, int, _ScheduledEvent]] = []
+        self._release = release
+
+    def push(self, event: _ScheduledEvent) -> None:
+        heappush(self._heap, (event.time, event.seq, event))
+
+    def peek(self) -> _ScheduledEvent | None:
+        """Next live event, discarding cancelled records along the way."""
+        heap = self._heap
+        while heap:
+            event = heap[0][2]
+            if event.cancelled:
+                heappop(heap)
+                self._release(event)
+                continue
+            return event
+        return None
+
+    def pop(self) -> _ScheduledEvent:
+        """Remove the head; only valid right after a non-None peek()."""
+        return heappop(self._heap)[2]
+
+    @property
+    def queued(self) -> int:
+        return len(self._heap)
+
+    def live(self) -> Iterator[_ScheduledEvent]:
+        return (e for _, _, e in self._heap if not e.cancelled)
+
+
+class _TimerWheel:
+    """Hierarchical timer wheel: bucketed near future, heaped overflow.
+
+    Absolute bucket ``b = int(t / BUCKET_MS)``.  Invariants:
+
+    * ``_cur`` is a heap of entries for buckets ``<= _cur_bucket`` (the
+      bucket the cursor stands on, plus same-or-earlier-time events
+      scheduled after a ``run(until=...)`` advanced ``now`` mid-wheel);
+    * every slot entry has bucket in ``(_cur_bucket, _cur_bucket +
+      SLOTS)`` -- a window of width ``SLOTS``, so slot index maps to a
+      unique absolute bucket and wrap-around never mixes epochs;
+    * overflow entries were beyond the window when scheduled; the cursor
+      compares their head bucket against the next occupied slot before
+      advancing, so a refilled window can never be overtaken.
+
+    Inserting a near event is one ``int`` divide plus ``list.append``;
+    ordering work happens once per bucket (a ``heapify`` of typically
+    a handful of entries) instead of once per push/pop.
+    """
+
+    BUCKET_MS = 16.0
+    SLOTS = 1024
+
+    __slots__ = (
+        "_release",
+        "_slots",
+        "_cur",
+        "_cur_bucket",
+        "_wheel_count",
+        "_overflow",
+        "queued",
+    )
+
+    def __init__(self, release: Callable[[_ScheduledEvent], None]) -> None:
+        self._release = release
+        self._slots: list[list[tuple[float, int, _ScheduledEvent]]] = [
+            [] for _ in range(self.SLOTS)
+        ]
+        self._cur: list[tuple[float, int, _ScheduledEvent]] = []
+        self._cur_bucket = 0
+        self._wheel_count = 0
+        self._overflow: list[tuple[float, int, _ScheduledEvent]] = []
+        self.queued = 0
+
+    def push(self, event: _ScheduledEvent) -> None:
+        t = event.time
+        bucket = int(t / 16.0)  # BUCKET_MS inlined on the hot path
+        self.queued += 1
+        cur_bucket = self._cur_bucket
+        if bucket <= cur_bucket:
+            heappush(self._cur, (t, event.seq, event))
+        elif bucket - cur_bucket < 1024:  # SLOTS
+            self._slots[bucket & 1023].append((t, event.seq, event))
+            self._wheel_count += 1
+        else:
+            heappush(self._overflow, (t, event.seq, event))
+
+    def _advance(self) -> bool:
+        """Move the cursor to the next occupied bucket (wheel slot or
+        overflow window), adopting its entries into ``_cur``.  Returns
+        False when nothing is queued anywhere."""
+        wheel_bucket = -1
+        if self._wheel_count:
+            base = self._cur_bucket
+            slots = self._slots
+            for i in range(1, self.SLOTS + 1):
+                if slots[(base + i) & 1023]:
+                    wheel_bucket = base + i
+                    break
+        if self._overflow:
+            over_bucket = int(self._overflow[0][0] / self.BUCKET_MS)
+            if wheel_bucket < 0 or over_bucket <= wheel_bucket:
+                # Advance the window to the overflow head and pour every
+                # overflow entry now inside it into the wheel (entries
+                # for the head bucket itself join _cur directly, merging
+                # with any slot entries already parked there).
+                self._cur_bucket = over_bucket
+                cur = self._slots[over_bucket & 1023]
+                self._slots[over_bucket & 1023] = []
+                self._wheel_count -= len(cur)
+                overflow = self._overflow
+                horizon = over_bucket + self.SLOTS
+                while overflow:
+                    entry = overflow[0]
+                    bucket = int(entry[0] / self.BUCKET_MS)
+                    if bucket >= horizon:
+                        break
+                    heappop(overflow)
+                    if bucket <= over_bucket:
+                        cur.append(entry)
+                    else:
+                        self._slots[bucket & 1023].append(entry)
+                        self._wheel_count += 1
+                heapify(cur)
+                self._cur = cur
+                return True
+        if wheel_bucket >= 0:
+            self._cur_bucket = wheel_bucket
+            cur = self._slots[wheel_bucket & 1023]
+            self._slots[wheel_bucket & 1023] = []
+            self._wheel_count -= len(cur)
+            heapify(cur)
+            self._cur = cur
+            return True
+        return False
+
+    def peek(self) -> _ScheduledEvent | None:
+        while True:
+            cur = self._cur
+            if cur:
+                event = cur[0][2]
+                if event.cancelled:
+                    heappop(cur)
+                    self.queued -= 1
+                    self._release(event)
+                    continue
+                return event
+            if not self._advance():
+                return None
+
+    def pop(self) -> _ScheduledEvent:
+        """Remove the head; only valid right after a non-None peek()."""
+        self.queued -= 1
+        return heappop(self._cur)[2]
+
+    def live(self) -> Iterator[_ScheduledEvent]:
+        for _, _, event in self._cur:
+            if not event.cancelled:
+                yield event
+        for slot in self._slots:
+            for _, _, event in slot:
+                if not event.cancelled:
+                    yield event
+        for _, _, event in self._overflow:
+            if not event.cancelled:
+                yield event
+
+
+#: recycled event records kept per kernel; beyond this the slab lets
+#: surplus records fall to the garbage collector
+_FREELIST_CAP = 4096
+
+SCHEDULERS = ("wheel", "heap")
 
 
 class Kernel:
@@ -86,11 +309,22 @@ class Kernel:
         kernel = Kernel()
         kernel.call_at(10.0, lambda: print("at t=10ms"))
         kernel.run()
+
+    ``scheduler`` selects the ready-queue implementation: ``"wheel"``
+    (default, fast) or ``"heap"`` (the reference); both fire callbacks
+    in identical order.
     """
 
-    def __init__(self) -> None:
-        self._queue: list[_ScheduledEvent] = []
-        self._sequence = itertools.count()
+    def __init__(self, scheduler: str = "wheel") -> None:
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r} (known: {', '.join(SCHEDULERS)})"
+            )
+        self.scheduler_kind = scheduler
+        self._free: list[_ScheduledEvent] = []
+        queue_cls = _TimerWheel if scheduler == "wheel" else _HeapScheduler
+        self._queue = queue_cls(self._release)
+        self._seq = 0
         self._now = 0.0
         self._events_executed = 0
         #: optional hook applied to every callback at scheduling time
@@ -123,8 +357,37 @@ class Kernel:
 
     @property
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for _ in self._queue.live())
+
+    # -- slab ---------------------------------------------------------------
+
+    def _acquire(
+        self, time: float, callback: Callable[[], None], label: str | None
+    ) -> _ScheduledEvent:
+        free = self._free
+        if free:
+            event = free.pop()
+        else:
+            event = _ScheduledEvent()
+        event.time = time
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        event.callback = callback
+        event.cancelled = False
+        event.label = label
+        return event
+
+    def _release(self, event: _ScheduledEvent) -> None:
+        event.generation += 1
+        event.callback = None
+        event.label = None
+        free = self._free
+        if len(free) < _FREELIST_CAP:
+            free.append(event)
+
+    # -- scheduling ---------------------------------------------------------
 
     def call_at(
         self,
@@ -147,8 +410,8 @@ class Kernel:
             label = _callback_name(callback)
         if self.trace_wrapper is not None:
             callback = self.trace_wrapper(callback)
-        event = _ScheduledEvent(time, next(self._sequence), callback, label=label)
-        heapq.heappush(self._queue, event)
+        event = self._acquire(time, callback, label)
+        self._queue.push(event)
         if self.event_hook is not None:
             self.event_hook("schedule", time, label or "<callable>")
         return EventHandle(event)
@@ -163,6 +426,73 @@ class Kernel:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         return self.call_at(self._now + delay, callback, label=label)
+
+    def post_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        label: str | None = None,
+    ) -> None:
+        """:meth:`call_at` without the :class:`EventHandle`.
+
+        The fire-and-forget path for callers that never cancel (message
+        deliveries, one-shot timeouts): semantics and hook behaviour are
+        identical, but steady-state traffic skips the handle allocation
+        entirely -- with the slab recycling the event record, a posted
+        event allocates nothing at all.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        if label is None and (
+            self.event_hook is not None or self.profiler is not None
+        ):
+            label = _callback_name(callback)
+        if self.trace_wrapper is not None:
+            callback = self.trace_wrapper(callback)
+        self._queue.push(self._acquire(time, callback, label))
+        if self.event_hook is not None:
+            self.event_hook("schedule", time, label or "<callable>")
+
+    def post_after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: str | None = None,
+    ) -> None:
+        """:meth:`call_after` without the :class:`EventHandle`.
+
+        The body of :meth:`post_at` is inlined (this is the single
+        hottest scheduling entry point -- every message delivery): one
+        call frame instead of two, and the past-time guard reduces to
+        the negative-delay check.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        time = self._now + delay
+        if label is None and (
+            self.event_hook is not None or self.profiler is not None
+        ):
+            label = _callback_name(callback)
+        if self.trace_wrapper is not None:
+            callback = self.trace_wrapper(callback)
+        # _acquire, inlined: one slab pop + field stores, no call frame
+        free = self._free
+        if free:
+            event = free.pop()
+        else:
+            event = _ScheduledEvent()
+        event.time = time
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        event.callback = callback
+        event.cancelled = False
+        event.label = label
+        self._queue.push(event)
+        if self.event_hook is not None:
+            self.event_hook("schedule", time, label or "<callable>")
+
+    # -- execution ----------------------------------------------------------
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
@@ -181,76 +511,94 @@ class Kernel:
         deadline: float | None = None
         if self.wall_time_budget is not None:
             deadline = time.perf_counter() + self.wall_time_budget
-        last_event: _ScheduledEvent | None = None
-        while self._queue:
+        # Guard diagnostics: the record itself is recycled after firing,
+        # so remember what would identify it, not the record.
+        last_label: str | None = None
+        last_callback: Callable[[], None] | None = None
+        queue = self._queue
+        while True:
             if max_events is not None and executed >= max_events:
                 break
             if self.step_cap is not None and executed >= self.step_cap:
                 raise SimulationError(
                     f"step cap of {self.step_cap} events exceeded in one "
-                    f"run(); last callback: {_describe_event(last_event)}"
+                    f"run(); last callback: "
+                    f"{self._describe_last(last_label, last_callback)}"
                 )
             if deadline is not None and time.perf_counter() > deadline:
                 raise SimulationError(
                     f"wall-time budget of {self.wall_time_budget}s exceeded "
-                    f"in one run(); last callback: {_describe_event(last_event)}"
+                    f"in one run(); last callback: "
+                    f"{self._describe_last(last_label, last_callback)}"
                 )
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
-                continue
+            event = queue.peek()
+            if event is None:
+                break
             if until is not None and event.time > until:
                 break
-            heapq.heappop(self._queue)
+            queue.pop()
             self._now = event.time
+            callback = event.callback
+            label = event.label
+            self._release(event)
             if self.event_hook is not None:
-                self.event_hook(
-                    "fire", event.time, event.label or "<callable>"
-                )
+                self.event_hook("fire", self._now, label or "<callable>")
             profiler = self.profiler
             if profiler is None:
-                event.callback()
+                callback()
             else:
                 started = time.perf_counter()
-                event.callback()
+                callback()
                 profiler.on_fire(
-                    event.label,
+                    label,
                     time.perf_counter() - started,
-                    event.time,
-                    len(self._queue),
+                    self._now,
+                    queue.queued,
                 )
-            last_event = event
+            last_label = label
+            last_callback = callback
             executed += 1
             self._events_executed += 1
         if until is not None and until > self._now:
             self._now = until
 
+    @staticmethod
+    def _describe_last(
+        label: str | None, callback: Callable[[], None] | None
+    ) -> str:
+        if label is not None:
+            return label
+        if callback is None:
+            return "<no event executed>"
+        return _callback_name(callback)
+
     def step(self) -> bool:
         """Execute the single next event.  Returns False if none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            if self.event_hook is not None:
-                self.event_hook(
-                    "fire", event.time, event.label or "<callable>"
-                )
-            profiler = self.profiler
-            if profiler is None:
-                event.callback()
-            else:
-                started = time.perf_counter()
-                event.callback()
-                profiler.on_fire(
-                    event.label,
-                    time.perf_counter() - started,
-                    event.time,
-                    len(self._queue),
-                )
-            self._events_executed += 1
-            return True
-        return False
+        queue = self._queue
+        event = queue.peek()
+        if event is None:
+            return False
+        queue.pop()
+        self._now = event.time
+        callback = event.callback
+        label = event.label
+        self._release(event)
+        if self.event_hook is not None:
+            self.event_hook("fire", self._now, label or "<callable>")
+        profiler = self.profiler
+        if profiler is None:
+            callback()
+        else:
+            started = time.perf_counter()
+            callback()
+            profiler.on_fire(
+                label,
+                time.perf_counter() - started,
+                self._now,
+                queue.queued,
+            )
+        self._events_executed += 1
+        return True
 
 
 class Timer:

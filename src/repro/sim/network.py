@@ -14,8 +14,9 @@ experiments (Figure 6).
 
 from __future__ import annotations
 
+import hashlib
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable, Iterable
 
 import networkx as nx
@@ -24,8 +25,67 @@ from repro.sim.kernel import Kernel
 
 NodeId = int
 
+#: body-digest accounting, module-wide: ``computed`` counts actual sha256
+#: evaluations, ``memoized`` counts digests served from a message's memo.
+#: The lazy-hashing equivalence tests assert the lazy mode computes
+#: strictly fewer digests than eager on a digest-free run.
+BODY_DIGEST_STATS = {"computed": 0, "memoized": 0}
 
-@dataclass(frozen=True, slots=True)
+
+def reset_body_digest_stats() -> None:
+    BODY_DIGEST_STATS["computed"] = 0
+    BODY_DIGEST_STATS["memoized"] = 0
+
+
+def _render_body(obj: Any, out: list[str]) -> None:
+    """Append a deterministic textual rendering of a payload.
+
+    Follows dataclass fields recursively, hex-encodes bytes, and never
+    falls back to ``repr`` of arbitrary objects (whose embedded memory
+    addresses would break byte-identical digests across runs)."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        out.append(type(obj).__name__)
+        out.append("(")
+        for f in fields(obj):
+            # underscore fields are internal memo slots (e.g. an update's
+            # cached encoding), not protocol content: their fill state
+            # depends on call timing, so they must not enter the digest
+            if f.name.startswith("_"):
+                continue
+            out.append(f.name)
+            out.append("=")
+            _render_body(getattr(obj, f.name), out)
+            out.append(",")
+        out.append(")")
+    elif isinstance(obj, bytes):
+        out.append("0x")
+        out.append(obj.hex())
+    elif isinstance(obj, (str, int, float, bool)) or obj is None:
+        out.append(repr(obj))
+    elif isinstance(obj, (list, tuple)):
+        out.append("[")
+        for item in obj:
+            _render_body(item, out)
+            out.append(",")
+        out.append("]")
+    elif isinstance(obj, (set, frozenset)):
+        out.append("{")
+        for item in sorted(obj, key=repr):
+            _render_body(item, out)
+            out.append(",")
+        out.append("}")
+    elif isinstance(obj, dict):
+        out.append("{")
+        for key in sorted(obj, key=repr):
+            _render_body(key, out)
+            out.append(":")
+            _render_body(obj[key], out)
+            out.append(",")
+        out.append("}")
+    else:
+        out.append(f"<{type(obj).__name__}>")
+
+
 class Message:
     """A network-level message between two simulated hosts.
 
@@ -33,12 +93,49 @@ class Message:
     bandwidth accounting size (protocol layers set this explicitly so the
     Figure 6 cost model uses the paper's byte counts, not Python object
     sizes).
+
+    A plain ``__slots__`` class, not a dataclass: ``Network.send``
+    allocates one per message, and a frozen dataclass ``__init__`` (one
+    ``object.__setattr__`` per field) costs ~4x a direct init on this
+    hot path.  Treat instances as immutable: the network fans one object
+    out to every handler.
     """
 
-    src: NodeId
-    dst: NodeId
-    payload: Any
-    size_bytes: int
+    __slots__ = ("src", "dst", "payload", "size_bytes", "_digest")
+
+    def __init__(
+        self, src: NodeId, dst: NodeId, payload: Any, size_bytes: int
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size_bytes = size_bytes
+        #: memoized body digest; ``None`` until someone asks (lazy hashing)
+        self._digest: str | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(src={self.src}, dst={self.dst}, "
+            f"payload={self.payload!r}, size_bytes={self.size_bytes})"
+        )
+
+    def body_digest(self) -> str:
+        """sha256 over a deterministic rendering of the payload, memoized.
+
+        Computed on demand: under the default lazy hashing mode nobody
+        pays for a digest unless the flight recorder (or a chaos oracle)
+        actually records one.
+        """
+        digest = self._digest
+        if digest is not None:
+            BODY_DIGEST_STATS["memoized"] += 1
+            return digest
+        out: list[str] = [str(self.src), ">", str(self.dst), "|"]
+        _render_body(self.payload, out)
+        digest = hashlib.sha256("".join(out).encode()).hexdigest()
+        BODY_DIGEST_STATS["computed"] += 1
+        self._digest = digest
+        return digest
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,13 +150,13 @@ class Corrupted:
     original: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkStats:
     messages: int = 0
     bytes: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class PhaseStats:
     """Traffic attributed to one (subsystem, protocol phase) pair.
 
@@ -152,14 +249,48 @@ class Network:
     #: Fixed per-message processing overhead (serialization, queuing).
     PER_MESSAGE_OVERHEAD_MS = 1.0
 
-    def __init__(self, kernel: Kernel, graph: nx.Graph, telemetry=None) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        graph: nx.Graph,
+        telemetry=None,
+        hash_bodies: str = "lazy",
+    ) -> None:
+        if hash_bodies not in ("lazy", "eager"):
+            raise ValueError(
+                f"unknown hash_bodies mode {hash_bodies!r} (known: lazy, eager)"
+            )
         self.kernel = kernel
         self.graph = graph
         #: optional telemetry facade (duck-typed so :mod:`repro.sim` stays
         #: a leaf package; see :mod:`repro.telemetry`).  ``None`` means
         #: uninstrumented -- the hot path guards on it.
         self.telemetry = telemetry
-        self._handlers: dict[NodeId, list[Callable[[Message], None]]] = {}
+        #: "lazy" (default) defers :meth:`Message.body_digest` until a
+        #: consumer asks; "eager" computes it at send time.  Both produce
+        #: identical digests and identical flight-recorder dumps -- lazy
+        #: just skips the work when nobody is recording bodies.
+        self.hash_bodies = hash_bodies
+        self._hash_eager = hash_bodies == "eager"
+        #: opt-in: stamp ``body=<digest>`` onto flight-recorder net
+        #: send/deliver records (wired from TelemetryConfig.net_body_digests;
+        #: default off so pinned dumps stay byte-identical)
+        self.record_body_digests = False
+        #: per-node handler tuples, replaced copy-on-write at (un)subscribe
+        #: so delivery iterates a stable snapshot without copying per message
+        self._handlers: dict[NodeId, tuple[Callable[[Message], None], ...]] = {}
+        #: memoized ``net.deliver:<sub>/<ph>`` labels (one f-string per
+        #: distinct phase instead of one per send)
+        self._deliver_labels: dict[tuple[str, str], str] = {}
+        #: per-(src, dst, subsystem, phase) send-path memo:
+        #: (LinkStats, PhaseStats, delay_ms | None, deliver label, sub, ph).
+        #: The topology graph is immutable for the lifetime of a run (the
+        #: latency cache has no invalidation path either), so the one-way
+        #: delay is a constant per ordered pair; the delay slot stays
+        #: ``None`` until the first send that survives the drop checks, so
+        #: a send to a down-but-unreachable node still drops instead of
+        #: raising, exactly as the uncached path did.
+        self._route_cache: dict[tuple, tuple] = {}
         self._down: set[NodeId] = set()
         self._partitions: list[tuple[set[NodeId], set[NodeId]]] = []
         #: one-way partitions: (src side, dst side) pairs where traffic
@@ -185,7 +316,7 @@ class Network:
         """Install ``handler`` as the node's sole message handler."""
         if node not in self.graph:
             raise KeyError(f"node {node} not in topology")
-        self._handlers[node] = [handler]
+        self._handlers[node] = (handler,)
 
     def subscribe(self, node: NodeId, handler: Callable[[Message], None]) -> None:
         """Add an additional handler; every handler sees every message.
@@ -196,13 +327,15 @@ class Network:
         """
         if node not in self.graph:
             raise KeyError(f"node {node} not in topology")
-        self._handlers.setdefault(node, []).append(handler)
+        self._handlers[node] = self._handlers.get(node, ()) + (handler,)
 
     def unsubscribe(self, node: NodeId, handler: Callable[[Message], None]) -> None:
         """Remove one subscribed handler, leaving co-hosted protocols."""
         handlers = self._handlers.get(node)
         if handlers and handler in handlers:
-            handlers.remove(handler)
+            remaining = list(handlers)
+            remaining.remove(handler)
+            self._handlers[node] = tuple(remaining)
 
     def unregister(self, node: NodeId) -> None:
         self._handlers.pop(node, None)
@@ -283,6 +416,30 @@ class Network:
 
     # -- delivery ----------------------------------------------------------
 
+    def _build_route(self, route_key: tuple) -> tuple:
+        """Slow path of :meth:`send`: materialize a route-cache entry.
+
+        The delay slot is left ``None`` (filled by the first send that
+        survives the drop checks) so unreachable destinations keep the
+        old drop-before-raise ordering.
+        """
+        src, dst, subsystem, phase = route_key
+        link_key = (src, dst) if src < dst else (dst, src)
+        link = self.link_stats.get(link_key)
+        if link is None:
+            link = self.link_stats[link_key] = LinkStats()
+        sub = subsystem if subsystem is not None else "other"
+        ph = phase if phase is not None else "other"
+        phase_stats = self.phase_stats.get((sub, ph))
+        if phase_stats is None:
+            phase_stats = self.phase_stats[(sub, ph)] = PhaseStats()
+        label = self._deliver_labels.get((sub, ph))
+        if label is None:
+            label = self._deliver_labels[(sub, ph)] = f"net.deliver:{sub}/{ph}"
+        route = (link, phase_stats, None, label, sub, ph)
+        self._route_cache[route_key] = route
+        return route
+
     def send(
         self,
         src: NodeId,
@@ -304,15 +461,13 @@ class Network:
         message = Message(src, dst, payload, size_bytes)
         self.stats_total_messages += 1
         self.stats_total_bytes += size_bytes
-        key = (min(src, dst), max(src, dst))
-        link = self.link_stats.setdefault(key, LinkStats())
+        route_key = (src, dst, subsystem, phase)
+        route = self._route_cache.get(route_key)
+        if route is None:
+            route = self._build_route(route_key)
+        link, phase_stats, delay, label, sub, ph = route
         link.messages += 1
         link.bytes += size_bytes
-        sub = subsystem if subsystem is not None else "other"
-        ph = phase if phase is not None else "other"
-        phase_stats = self.phase_stats.get((sub, ph))
-        if phase_stats is None:
-            phase_stats = self.phase_stats[(sub, ph)] = PhaseStats()
         phase_stats.messages += 1
         phase_stats.bytes += size_bytes
 
@@ -323,23 +478,61 @@ class Network:
             tel.observe("net_message_bytes", size_bytes)
             tel.count("net_phase_messages_total", subsystem=sub, phase=ph)
             tel.count("net_phase_bytes_total", size_bytes, subsystem=sub, phase=ph)
-            tel.record(
-                "net",
-                "send",
-                src=src,
-                dst=dst,
-                type=type(payload).__name__,
-                bytes=size_bytes,
-                subsystem=sub,
-                phase=ph,
+            if self.record_body_digests:
+                tel.record(
+                    "net",
+                    "send",
+                    src=src,
+                    dst=dst,
+                    type=type(payload).__name__,
+                    bytes=size_bytes,
+                    subsystem=sub,
+                    phase=ph,
+                    body=message.body_digest(),
+                )
+            else:
+                tel.record(
+                    "net",
+                    "send",
+                    src=src,
+                    dst=dst,
+                    type=type(payload).__name__,
+                    bytes=size_bytes,
+                    subsystem=sub,
+                    phase=ph,
+                )
+        down = self._down
+        if (
+            src in down
+            or dst in down
+            or (
+                (self._partitions or self._asym_partitions)
+                and self._partitioned(src, dst)
             )
-        if src in self._down or dst in self._down or self._partitioned(src, dst):
+        ):
             self.stats_dropped += 1
             if instrumented:
                 tel.count("net_dropped_total", reason="unreachable")
                 tel.record("net", "drop", src=src, dst=dst, reason="unreachable")
             return
-        delay = self.latency_ms(src, dst) + self.PER_MESSAGE_OVERHEAD_MS
+        if delay is None:
+            if src == dst:
+                delay = self.PER_MESSAGE_OVERHEAD_MS
+            else:
+                latencies = self._latency_cache.get(src)
+                if latencies is None:
+                    latencies = self._latency_cache[src] = (
+                        nx.single_source_dijkstra_path_length(
+                            self.graph, src, weight="latency_ms"
+                        )
+                    )
+                try:
+                    delay = latencies[dst] + self.PER_MESSAGE_OVERHEAD_MS
+                except KeyError:
+                    raise ValueError(f"no path from {src} to {dst}") from None
+            self._route_cache[route_key] = (
+                link, phase_stats, delay, label, sub, ph
+            )
 
         copies = 1
         injector = self.fault_injector
@@ -367,8 +560,26 @@ class Network:
                     "net", "delay", src=src, dst=dst, extra_ms=decision.extra_delay_ms
                 )
 
-        def deliver() -> None:
-            if dst in self._down or self._partitioned(src, dst):
+        if self._hash_eager:
+            message.body_digest()
+
+        # Captures ride as default args, not closure cells: the send
+        # frame skips MAKE_CELL setup and the delivery body reads
+        # LOAD_FAST locals -- measurably cheaper on the heartbeat path.
+        def deliver(
+            self=self,
+            src=src,
+            dst=dst,
+            message=message,
+            instrumented=instrumented,
+            tel=tel,
+            sub=sub,
+            ph=ph,
+        ) -> None:
+            if dst in self._down or (
+                (self._partitions or self._asym_partitions)
+                and self._partitioned(src, dst)
+            ):
                 self.stats_dropped += 1
                 if instrumented:
                     tel.count("net_dropped_total", reason="unreachable")
@@ -386,32 +597,49 @@ class Network:
                     )
                 return
             if instrumented:
-                tel.record(
-                    "net",
-                    "deliver",
-                    src=src,
-                    dst=dst,
-                    type=type(message.payload).__name__,
-                    subsystem=sub,
-                    phase=ph,
-                )
-            for handler in list(handlers):
+                if self.record_body_digests:
+                    tel.record(
+                        "net",
+                        "deliver",
+                        src=src,
+                        dst=dst,
+                        type=type(message.payload).__name__,
+                        subsystem=sub,
+                        phase=ph,
+                        body=message.body_digest(),
+                    )
+                else:
+                    tel.record(
+                        "net",
+                        "deliver",
+                        src=src,
+                        dst=dst,
+                        type=type(message.payload).__name__,
+                        subsystem=sub,
+                        phase=ph,
+                    )
+            # handler tuples are replaced copy-on-write at (un)subscribe,
+            # so iterating directly is the same snapshot a copy would give
+            for handler in handlers:
                 handler(message)
 
-        # Trace-context capture happens inside call_after when the
+        # Trace-context capture happens inside post_after when the
         # kernel's trace_wrapper is installed: the delivery callback (and
         # hence every span the destination handler opens) binds to the
         # span that was current at send time.  Duplicated copies trail
         # the original by one processing overhead each.
-        label = None
-        if self.kernel.event_hook is not None or self.kernel.profiler is not None:
-            # The profiler attributes delivery wall time to the message's
-            # own phase tag; built only when someone is listening.
-            label = f"net.deliver:{sub}/{ph}"
-        for i in range(copies):
-            self.kernel.call_after(
-                delay + i * self.PER_MESSAGE_OVERHEAD_MS, deliver, label=label
-            )
+        kernel = self.kernel
+        if kernel.event_hook is None and kernel.profiler is None:
+            # Labels only reach observers through the hook/profiler; keep
+            # the unobserved case label-free exactly as before the memo.
+            label = None
+        if copies == 1:
+            kernel.post_after(delay, deliver, label=label)
+        else:
+            for i in range(copies):
+                kernel.post_after(
+                    delay + i * self.PER_MESSAGE_OVERHEAD_MS, deliver, label=label
+                )
 
     def phase_report(self) -> dict[str, dict[str, dict[str, int]]]:
         """Per-(subsystem, phase) traffic as a JSON-able nested dict.

@@ -119,6 +119,10 @@ class TelemetryConfig:
     #: kernel profiler: per-(subsystem, phase) wall/event attribution of
     #: callback execution (opt-in -- wall clocks are machine-dependent)
     profile: bool = False
+    #: attach a body digest to every flight-recorder net send/deliver
+    #: record (forces a sha256 per recorded message even under lazy
+    #: hashing; opt-in so default dumps stay byte-identical to history)
+    net_body_digests: bool = False
     #: record end-user operation SLO latencies (cheap sim-time histograms)
     slo: bool = True
     #: quantiles reported in metric histogram summaries and tables

@@ -195,7 +195,7 @@ class TestZeroOverhead:
             pass
 
         kernel.call_at(1.0, callback)
-        event = kernel._queue[0]
+        event = next(kernel._queue.live())
         assert event.callback is callback
         assert event.label is None
 

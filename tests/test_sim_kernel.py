@@ -151,3 +151,118 @@ class TestTimer:
         kernel.run(until=26.0)
         timer.stop()
         assert ticks == [12.5, 25.0]
+
+
+class TestSchedulerGuardsAndHooks:
+    """Edge cases shared by both schedulers: run-loop guards tripping
+    mid-bucket, recycled-handle safety, and observer-count parity."""
+
+    def test_step_cap_trips_mid_bucket(self):
+        # Many events inside one 16 ms wheel bucket; the cap must trip
+        # partway through the bucket and name the last callback.
+        for scheduler in ("wheel", "heap"):
+            kernel = Kernel(scheduler=scheduler)
+            fired = []
+            for i in range(10):
+                kernel.call_at(1.0 + i * 0.1, lambda i=i: fired.append(i), label=f"ev-{i}")
+            kernel.step_cap = 4
+            with pytest.raises(SimulationError) as excinfo:
+                kernel.run()
+            assert fired == [0, 1, 2, 3], scheduler
+            assert "ev-3" in str(excinfo.value)
+
+    def test_wall_budget_trips_mid_bucket(self):
+        import time as _time
+
+        for scheduler in ("wheel", "heap"):
+            kernel = Kernel(scheduler=scheduler)
+            kernel.wall_time_budget = 0.0  # trips on the first check
+            kernel.call_at(1.0, lambda: _time.sleep(0))
+            with pytest.raises(SimulationError):
+                kernel.run()
+
+    def test_cancel_of_already_fired_event_is_isolated(self):
+        # After an event fires, its record returns to the slab and may
+        # be reused; a stale handle must never cancel the new tenant.
+        for scheduler in ("wheel", "heap"):
+            kernel = Kernel(scheduler=scheduler)
+            fired = []
+            stale = kernel.call_at(1.0, lambda: fired.append("first"))
+            kernel.run()
+            later = kernel.call_at(2.0, lambda: fired.append("second"))
+            stale.cancel()  # no-op: generation moved on
+            assert not later.cancelled
+            kernel.run()
+            assert fired == ["first", "second"], scheduler
+
+    def test_schedule_exactly_at_now_runs_this_pass(self):
+        for scheduler in ("wheel", "heap"):
+            kernel = Kernel(scheduler=scheduler)
+            fired = []
+            kernel.call_at(5.0, lambda: kernel.call_at(5.0, lambda: fired.append("inner")))
+            kernel.run()
+            assert fired == ["inner"], scheduler
+            assert kernel.now == 5.0
+
+    def test_hook_and_profiler_counts_match_across_schedulers(self):
+        counts = {}
+        for scheduler in ("wheel", "heap"):
+            kernel = Kernel(scheduler=scheduler)
+            hook_events = []
+            kernel.event_hook = lambda kind, t, label: hook_events.append(kind)
+
+            class CountingProfiler:
+                def __init__(self):
+                    self.fires = 0
+                    self.pendings = []
+
+                def on_fire(self, label, elapsed_s, time_ms, pending):
+                    self.fires += 1
+                    self.pendings.append(pending)
+
+            profiler = CountingProfiler()
+            kernel.profiler = profiler
+            doomed = []
+            for i in range(6):
+                handle = kernel.call_after(10.0 * i + 1.0, lambda: None)
+                if i % 3 == 0:
+                    doomed.append(handle)
+            for handle in doomed:
+                handle.cancel()
+            kernel.run()
+            counts[scheduler] = (
+                hook_events.count("schedule"),
+                hook_events.count("fire"),
+                profiler.fires,
+                profiler.pendings,
+            )
+        assert counts["wheel"] == counts["heap"]
+
+    def test_describe_event_fallback_has_no_memory_address(self):
+        # Regression: the unlabeled fallback used repr(callback), whose
+        # 0x... address broke cross-run diffability.
+        from repro.sim.kernel import _describe_event, _ScheduledEvent
+
+        def my_callback():
+            pass
+
+        event = _ScheduledEvent()
+        event.time = 1.0
+        event.seq = 0
+        event.callback = my_callback
+        event.cancelled = False
+        event.label = None
+        text = _describe_event(event)
+        assert "0x" not in text
+        assert "my_callback" in text
+
+    def test_labeled_describe_event_uses_label(self):
+        from repro.sim.kernel import _describe_event, _ScheduledEvent
+
+        event = _ScheduledEvent()
+        event.time = 2.0
+        event.seq = 1
+        event.callback = lambda: None
+        event.cancelled = False
+        event.label = "recovery.heartbeat"
+        assert "recovery.heartbeat" in _describe_event(event)
